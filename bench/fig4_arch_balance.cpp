@@ -1,0 +1,97 @@
+// Regenerates the paper's Figure 4: execution time per partition and
+// micro-architectural statistics per thread for PageRank on the Twitter
+// stand-in (384 partitions, 48 modeled threads; thread t executes
+// partitions 8t..8t+7), Original vs VEBO.
+//
+// Hardware counters are replaced by the trace-driven cache/TLB/branch
+// simulators (DESIGN.md §2). Expected shape: VEBO collapses the 7x
+// per-partition time spread to ~1.6x and cuts the branch MPKI several
+// fold; cache/TLB means move little (Twitter/PR is the paper's noted
+// counter-example where locality does not improve).
+#include <iostream>
+
+#include "algorithms/pagerank.hpp"
+#include "bench_common.hpp"
+#include "framework/engine.hpp"
+#include "simarch/trace.hpp"
+#include "support/stats.hpp"
+
+using namespace vebo;
+
+namespace {
+
+void report_times(const std::string& label, const std::vector<double>& t) {
+  const Summary s = summarize(t);
+  std::cout << "  " << label << ": avg " << Table::num(s.mean * 1e3)
+            << " ms, min " << Table::num(s.min * 1e3) << ", max "
+            << Table::num(s.max * 1e3) << ", spread "
+            << Table::num(s.spread(), 2) << "x, sd "
+            << Table::num(s.stddev * 1e3) << "\n";
+}
+
+void report_arch(const std::string& label, const simarch::ArchReport& r) {
+  // Per-thread min/max captures the balance of the counters themselves.
+  double lmin = 1e30, lmax = 0, bmin = 1e30, bmax = 0;
+  for (const auto& t : r.per_thread) {
+    lmin = std::min(lmin, t.local_mpki + t.remote_mpki);
+    lmax = std::max(lmax, t.local_mpki + t.remote_mpki);
+    bmin = std::min(bmin, t.branch_mpki);
+    bmax = std::max(bmax, t.branch_mpki);
+  }
+  std::cout << "  " << label << ": LLC local " << Table::num(r.mean_local(), 2)
+            << " MPKI, remote " << Table::num(r.mean_remote(), 2)
+            << ", TLB " << Table::num(r.mean_tlb(), 2) << ", branch "
+            << Table::num(r.mean_branch(), 3) << "  (LLC per-thread "
+            << Table::num(lmin, 1) << ".." << Table::num(lmax, 1)
+            << ", branch " << Table::num(bmin, 3) << ".."
+            << Table::num(bmax, 3) << ")\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Figure 4: per-partition time + simulated MPKI (PR, twitter)");
+  const Graph g = gen::make_dataset("twitter", bench::bench_scale(), 42);
+  std::cout << g.describe("twitter") << "\n";
+
+  simarch::MachineConfig cfg;  // 4 sockets x 12 threads, 1 MiB LLC slice
+
+  // --- original order ---
+  const auto part_o =
+      order::partition_by_destination(g, bench::kPaperPartitions);
+  EngineOptions oo;
+  oo.explicit_partitioning = &part_o;
+  Engine eo(g, SystemModel::GraphGrind, oo);
+  const auto t_orig = algo::pagerank_partition_times(eo, 3);
+
+  // --- VEBO ---
+  const auto r = order::vebo(g, bench::kPaperPartitions);
+  const Graph h = permute(g, r.perm);
+  EngineOptions ov;
+  ov.explicit_partitioning = &r.partitioning;
+  Engine ev(h, SystemModel::GraphGrind, ov);
+  const auto t_vebo = algo::pagerank_partition_times(ev, 3);
+
+  std::cout << "\n(a) PR time per partition (384 partitions):\n";
+  report_times("Original", t_orig);
+  report_times("VEBO    ", t_vebo);
+
+  std::cout << "\n(b-e) simulated per-thread architecture statistics "
+               "(edgemap sweep):\n";
+  const auto arch_o = simarch::simulate_edgemap(g, part_o, cfg);
+  const auto arch_v = simarch::simulate_edgemap(h, r.partitioning, cfg);
+  report_arch("Original", arch_o);
+  report_arch("VEBO    ", arch_v);
+
+  std::cout << "\nBranch MPKI ratio (Original/VEBO): "
+            << Table::num(arch_o.mean_branch() /
+                              std::max(1e-9, arch_v.mean_branch()),
+                          2)
+            << "x\n";
+  std::cout << "\nPaper reference: Original per-partition times spread ~7x\n"
+               "vs ~1.6x for VEBO with nearly equal averages; branch MPKI\n"
+               "drops from 0.11 to 0.04 (2-3x); cache/TLB move little on\n"
+               "Twitter+PR.\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Regenerates the paper's Table V: simulated architectural events for the
+// vertexmap and edgemap phases — LLC misses serviced locally vs remotely
+// and TLB misses, per thread, Original vs VEBO, for PR-style sweeps on
+// the Twitter and Friendster stand-ins.
+//
+// Expected shape: vertexmap remote misses shrink strongly under VEBO
+// (equal vertices per partition align the vertexmap split with the NUMA
+// homes); edgemap statistics improve moderately for Friendster and are
+// roughly neutral for Twitter.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "simarch/trace.hpp"
+
+using namespace vebo;
+
+int main() {
+  bench::print_header(
+      "Table V: simulated vertexmap/edgemap MPKI, Original vs VEBO");
+  simarch::MachineConfig cfg;  // 4 sockets x 12 threads
+
+  Table t("Table V (MPKI)");
+  t.set_header({"Graph", "Order", "VM local", "VM remote", "VM TLB",
+                "EM local", "EM remote", "EM TLB"});
+  for (const char* name : {"twitter", "friendster"}) {
+    const Graph g = gen::make_dataset(name, bench::bench_scale(), 42);
+    const auto part_o =
+        order::partition_by_destination(g, bench::kPaperPartitions);
+    const auto vm_o = simarch::simulate_vertexmap(g, part_o, cfg);
+    const auto em_o = simarch::simulate_edgemap(g, part_o, cfg);
+
+    const auto r = order::vebo(g, bench::kPaperPartitions);
+    const Graph h = permute(g, r.perm);
+    const auto vm_v = simarch::simulate_vertexmap(h, r.partitioning, cfg);
+    const auto em_v = simarch::simulate_edgemap(h, r.partitioning, cfg);
+
+    auto row = [&](const char* order, const simarch::ArchReport& vm,
+                   const simarch::ArchReport& em) {
+      t.add_row({name, order, Table::num(vm.mean_local(), 2),
+                 Table::num(vm.mean_remote(), 2), Table::num(vm.mean_tlb(), 3),
+                 Table::num(em.mean_local(), 2),
+                 Table::num(em.mean_remote(), 2),
+                 Table::num(em.mean_tlb(), 3)});
+    };
+    row("Orig.", vm_o, em_o);
+    row("VEBO", vm_v, em_v);
+  }
+  t.print(std::cout);
+  std::cout << "\nPaper reference: VEBO cuts vertexmap remote misses\n"
+               "(e.g. 4.1 -> 1.6 MPKI on Twitter) because equal vertex\n"
+               "counts make the evenly split vertexmap loop NUMA-local;\n"
+               "edgemap statistics improve for Friendster.\n";
+  return 0;
+}

@@ -1,0 +1,109 @@
+#include "algorithms/bc.hpp"
+
+#include <atomic>
+
+#include "framework/edgemap.hpp"
+#include "support/error.hpp"
+
+namespace vebo::algo {
+
+namespace {
+
+struct ForwardFunctor {
+  std::atomic<double>* sigma;
+  const DynamicBitset* visited;
+
+  bool update(VertexId u, VertexId v) {
+    // Pull: single writer per v.
+    const double add = sigma[u].load(std::memory_order_relaxed);
+    const double old = sigma[v].load(std::memory_order_relaxed);
+    sigma[v].store(old + add, std::memory_order_relaxed);
+    return old == 0.0;
+  }
+
+  bool update_atomic(VertexId u, VertexId v) {
+    const double add = sigma[u].load(std::memory_order_relaxed);
+    double cur = sigma[v].load(std::memory_order_relaxed);
+    for (;;) {
+      if (sigma[v].compare_exchange_weak(cur, cur + add,
+                                         std::memory_order_relaxed))
+        return cur == 0.0;
+    }
+  }
+
+  bool cond(VertexId v) const { return !visited->get(v); }
+};
+
+}  // namespace
+
+BcResult betweenness(const Engine& eng, VertexId source) {
+  const Graph& g = eng.graph();
+  const VertexId n = g.num_vertices();
+  VEBO_CHECK(source < n, "betweenness: source out of range");
+
+  std::vector<std::atomic<double>> sigma(n);
+  for (auto& s : sigma) s.store(0.0, std::memory_order_relaxed);
+  sigma[source].store(1.0, std::memory_order_relaxed);
+
+  DynamicBitset visited(n);
+  visited.set(source);
+  std::vector<VertexId> level(n, kInvalidVertex);
+  level[source] = 0;
+
+  // Forward phase: BFS levels with path counting.
+  std::vector<std::vector<VertexId>> levels;  // level -> vertices
+  levels.push_back({source});
+  VertexSubset frontier = VertexSubset::single(n, source);
+  ForwardFunctor f{sigma.data(), &visited};
+  int depth = 0;
+  while (!frontier.empty_set()) {
+    // Note: cond() must stay true for v during the whole round so that
+    // every same-level predecessor contributes to sigma[v]; visited is
+    // only updated after the edgemap (Ligra's BC does the same).
+    VertexSubset next =
+        edge_map(eng, frontier, f, {.pull_early_exit = false});
+    ++depth;
+    std::vector<VertexId> members;
+    next.for_each([&](VertexId v) {
+      visited.set(v);
+      level[v] = static_cast<VertexId>(depth);
+      members.push_back(v);
+    });
+    if (members.empty()) break;
+    levels.push_back(std::move(members));
+    frontier = std::move(next);
+  }
+
+  // Backward phase: dependency accumulation over levels in reverse.
+  // delta[v] = sum over successors w (level[w] = level[v]+1, edge v->w) of
+  // sigma[v]/sigma[w] * (1 + delta[w]). Writes touch only delta[v], so the
+  // per-level loop is race-free.
+  std::vector<double> delta(n, 0.0);
+  for (std::size_t d = levels.size(); d-- > 1;) {
+    const auto& members = levels[d - 1];
+    parallel_for(
+        0, members.size(),
+        [&](std::size_t i) {
+          const VertexId v = members[i];
+          const double sv = sigma[v].load(std::memory_order_relaxed);
+          double acc = 0.0;
+          for (VertexId w : g.out_neighbors(v)) {
+            if (level[w] != level[v] + 1) continue;
+            const double sw = sigma[w].load(std::memory_order_relaxed);
+            if (sw > 0.0) acc += sv / sw * (1.0 + delta[w]);
+          }
+          delta[v] += acc;
+        },
+        eng.vertex_loop());
+  }
+
+  BcResult res;
+  res.dependency = std::move(delta);
+  res.num_paths.resize(n);
+  for (VertexId v = 0; v < n; ++v)
+    res.num_paths[v] = sigma[v].load(std::memory_order_relaxed);
+  res.levels = static_cast<int>(levels.size());
+  return res;
+}
+
+}  // namespace vebo::algo

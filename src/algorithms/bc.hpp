@@ -1,0 +1,21 @@
+// Betweenness centrality from a single source (Brandes), structured as in
+// Ligra's BC: a forward BFS accumulating shortest-path counts followed by
+// a backward dependency sweep over the BFS levels. Vertex-oriented with
+// medium/sparse frontiers (paper Table II).
+#pragma once
+
+#include <vector>
+
+#include "framework/engine.hpp"
+
+namespace vebo::algo {
+
+struct BcResult {
+  std::vector<double> dependency;  ///< Brandes delta per vertex
+  std::vector<double> num_paths;   ///< sigma per vertex
+  int levels = 0;
+};
+
+BcResult betweenness(const Engine& eng, VertexId source);
+
+}  // namespace vebo::algo

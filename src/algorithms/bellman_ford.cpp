@@ -1,0 +1,65 @@
+#include "algorithms/bellman_ford.hpp"
+
+#include <atomic>
+
+#include "algorithms/spmv.hpp"  // edge_weight
+#include "framework/edgemap.hpp"
+#include "support/error.hpp"
+
+namespace vebo::algo {
+
+namespace {
+
+struct BfFunctor {
+  std::atomic<double>* dist;
+
+  /// Atomic min of dist[v] against dist[u] + w(u,v); true if improved.
+  bool relax(VertexId u, VertexId v) {
+    const double du = dist[u].load(std::memory_order_relaxed);
+    if (du == kUnreachable) return false;
+    const double cand = du + edge_weight(u, v);
+    double cur = dist[v].load(std::memory_order_relaxed);
+    while (cand < cur) {
+      if (dist[v].compare_exchange_weak(cur, cand,
+                                        std::memory_order_relaxed))
+        return true;
+    }
+    return false;
+  }
+
+  bool update(VertexId u, VertexId v) { return relax(u, v); }
+  bool update_atomic(VertexId u, VertexId v) { return relax(u, v); }
+  bool cond(VertexId) const { return true; }
+};
+
+}  // namespace
+
+BellmanFordResult bellman_ford(const Engine& eng, VertexId source) {
+  const Graph& g = eng.graph();
+  const VertexId n = g.num_vertices();
+  VEBO_CHECK(source < n, "bellman_ford: source out of range");
+
+  std::vector<std::atomic<double>> dist(n);
+  for (auto& d : dist) d.store(kUnreachable, std::memory_order_relaxed);
+  dist[source].store(0.0, std::memory_order_relaxed);
+
+  VertexSubset frontier = VertexSubset::single(n, source);
+  BfFunctor f{dist.data()};
+  BellmanFordResult res;
+  // Standard termination: at most n rounds (weights are positive so no
+  // negative cycles; the frontier empties much earlier in practice).
+  while (!frontier.empty_set() &&
+         res.rounds < static_cast<int>(n)) {
+    frontier = edge_map(eng, frontier, f, {.pull_early_exit = false});
+    ++res.rounds;
+  }
+
+  res.distance.resize(n);
+  for (VertexId v = 0; v < n; ++v) {
+    res.distance[v] = dist[v].load(std::memory_order_relaxed);
+    if (res.distance[v] != kUnreachable) ++res.reached;
+  }
+  return res;
+}
+
+}  // namespace vebo::algo

@@ -1,0 +1,23 @@
+// Single-source shortest paths by frontier-based Bellman–Ford (Ligra's
+// BF). Vertex-oriented; frontier density varies from dense to sparse over
+// the run. Edge weights are the deterministic weights of spmv.hpp.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "framework/engine.hpp"
+
+namespace vebo::algo {
+
+inline constexpr double kUnreachable = std::numeric_limits<double>::infinity();
+
+struct BellmanFordResult {
+  std::vector<double> distance;  ///< kUnreachable if not reachable
+  int rounds = 0;
+  VertexId reached = 0;
+};
+
+BellmanFordResult bellman_ford(const Engine& eng, VertexId source);
+
+}  // namespace vebo::algo

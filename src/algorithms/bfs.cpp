@@ -1,0 +1,77 @@
+#include "algorithms/bfs.hpp"
+
+#include <atomic>
+
+#include "framework/edgemap.hpp"
+#include "support/error.hpp"
+
+namespace vebo::algo {
+
+namespace {
+
+struct BfsFunctor {
+  std::atomic<VertexId>* parent;
+
+  bool update(VertexId u, VertexId v) {
+    // Pull direction: only one thread owns v, plain store is fine but we
+    // keep the atomic store for uniformity.
+    if (parent[v].load(std::memory_order_relaxed) == kInvalidVertex) {
+      parent[v].store(u, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  bool update_atomic(VertexId u, VertexId v) {
+    VertexId expected = kInvalidVertex;
+    return parent[v].compare_exchange_strong(expected, u,
+                                             std::memory_order_relaxed);
+  }
+
+  bool cond(VertexId v) const {
+    return parent[v].load(std::memory_order_relaxed) == kInvalidVertex;
+  }
+};
+
+}  // namespace
+
+BfsResult bfs(const Engine& eng, VertexId source) {
+  const Graph& g = eng.graph();
+  const VertexId n = g.num_vertices();
+  VEBO_CHECK(source < n, "bfs: source out of range");
+
+  std::vector<std::atomic<VertexId>> parent(n);
+  for (auto& p : parent) p.store(kInvalidVertex, std::memory_order_relaxed);
+  parent[source].store(source, std::memory_order_relaxed);
+
+  BfsResult res;
+  res.level.assign(n, kInvalidVertex);
+  res.level[source] = 0;
+
+  VertexSubset frontier = VertexSubset::single(n, source);
+  BfsFunctor f{parent.data()};
+  int round = 0;
+  while (!frontier.empty_set()) {
+    EdgeId active_edges = 0;
+    frontier.for_each([&](VertexId v) { active_edges += g.out_degree(v); });
+    res.active_edges_per_round.push_back(active_edges);
+
+    VertexSubset next = edge_map(eng, frontier, f);
+    ++round;
+    next.for_each([&](VertexId v) {
+      res.level[v] = static_cast<VertexId>(round);
+    });
+    frontier = std::move(next);
+  }
+
+  res.parent.resize(n);
+  res.reached = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    res.parent[v] = parent[v].load(std::memory_order_relaxed);
+    if (res.parent[v] != kInvalidVertex) ++res.reached;
+  }
+  res.rounds = round;
+  return res;
+}
+
+}  // namespace vebo::algo

@@ -1,0 +1,23 @@
+// Breadth-First Search with direction reversal (Beamer et al.), a
+// vertex-oriented algorithm in the paper's classification: per-iteration
+// work is proportional to the frontier, and frontiers are medium/sparse.
+#pragma once
+
+#include <vector>
+
+#include "framework/engine.hpp"
+
+namespace vebo::algo {
+
+struct BfsResult {
+  std::vector<VertexId> parent;  ///< kInvalidVertex if unreached
+  std::vector<VertexId> level;   ///< kInvalidVertex if unreached
+  VertexId reached = 0;
+  int rounds = 0;
+  /// Active-edge count of each round's frontier (Table IV input).
+  std::vector<EdgeId> active_edges_per_round;
+};
+
+BfsResult bfs(const Engine& eng, VertexId source);
+
+}  // namespace vebo::algo

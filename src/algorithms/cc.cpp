@@ -1,0 +1,115 @@
+#include "algorithms/cc.hpp"
+
+#include <atomic>
+#include <unordered_set>
+
+#include "framework/edgemap.hpp"
+
+namespace vebo::algo {
+
+namespace {
+
+/// Atomic min on a VertexId; returns true if the stored value decreased.
+bool atomic_write_min(std::atomic<VertexId>& slot, VertexId value) {
+  VertexId cur = slot.load(std::memory_order_relaxed);
+  while (value < cur) {
+    if (slot.compare_exchange_weak(cur, value, std::memory_order_relaxed))
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+CcResult connected_components(const Engine& eng) {
+  const Graph& g = eng.graph();
+  const VertexId n = g.num_vertices();
+
+  std::vector<std::atomic<VertexId>> label(n);
+  for (VertexId v = 0; v < n; ++v)
+    label[v].store(v, std::memory_order_relaxed);
+
+  // Label propagation over *both* edge directions until fixpoint. The
+  // frontier holds vertices whose label changed last round.
+  VertexSubset frontier = VertexSubset::all(n);
+  int rounds = 0;
+  while (!frontier.empty_set()) {
+    AtomicBitset changed(n);
+    // Density heuristic mirrors edgemap: sparse push vs dense pull.
+    EdgeId work = frontier.size();
+    frontier.for_each([&](VertexId v) {
+      work += g.out_degree(v) + g.in_degree(v);
+    });
+    if (work > eng.dense_threshold()) {
+      frontier.to_dense();
+      const DynamicBitset& fbits = frontier.bits();
+      auto process_range = [&](VertexId lo, VertexId hi) {
+        for (VertexId v = lo; v < hi; ++v) {
+          VertexId best = label[v].load(std::memory_order_relaxed);
+          bool saw_active = false;
+          for (VertexId u : g.in_neighbors(v)) {
+            if (!fbits.get(u)) continue;
+            saw_active = true;
+            best = std::min(best, label[u].load(std::memory_order_relaxed));
+          }
+          for (VertexId u : g.out_neighbors(v)) {
+            if (!fbits.get(u)) continue;
+            saw_active = true;
+            best = std::min(best, label[u].load(std::memory_order_relaxed));
+          }
+          if (saw_active && atomic_write_min(label[v], best)) changed.set(v);
+        }
+      };
+      if (eng.partitioned()) {
+        const auto& part = eng.partitioning();
+        parallel_for(
+            0, part.num_partitions(),
+            [&](std::size_t p) {
+              process_range(part.begin(static_cast<VertexId>(p)),
+                            part.end(static_cast<VertexId>(p)));
+            },
+            eng.partition_loop());
+      } else {
+        parallel_for_range(
+            0, n,
+            [&](std::size_t lo, std::size_t hi) {
+              process_range(static_cast<VertexId>(lo),
+                            static_cast<VertexId>(hi));
+            },
+            eng.vertex_loop());
+      }
+    } else {
+      frontier.to_sparse();
+      auto ids = frontier.vertices();
+      parallel_for(
+          0, ids.size(),
+          [&](std::size_t i) {
+            const VertexId u = ids[i];
+            const VertexId lu = label[u].load(std::memory_order_relaxed);
+            for (VertexId v : g.out_neighbors(u))
+              if (atomic_write_min(label[v], lu)) changed.set(v);
+            for (VertexId v : g.in_neighbors(u))
+              if (atomic_write_min(label[v], lu)) changed.set(v);
+          },
+          eng.vertex_loop());
+    }
+    std::vector<VertexId> next;
+    for (VertexId v = 0; v < n; ++v)
+      if (changed.get(v)) next.push_back(v);
+    frontier = VertexSubset::from_sparse(n, std::move(next));
+    ++rounds;
+  }
+
+  CcResult res;
+  res.label.resize(n);
+  std::unordered_set<VertexId> roots;
+  for (VertexId v = 0; v < n; ++v) {
+    res.label[v] = label[v].load(std::memory_order_relaxed);
+    roots.insert(res.label[v]);
+  }
+  res.num_components = static_cast<VertexId>(roots.size());
+  res.rounds = rounds;
+  return res;
+}
+
+}  // namespace vebo::algo

@@ -1,0 +1,20 @@
+// Connected components by label propagation (the paper's CC). Labels
+// propagate across both edge directions so directed inputs yield weakly
+// connected components, matching the systems' use of symmetrized inputs.
+#pragma once
+
+#include <vector>
+
+#include "framework/engine.hpp"
+
+namespace vebo::algo {
+
+struct CcResult {
+  std::vector<VertexId> label;  ///< component id = min vertex id in comp.
+  VertexId num_components = 0;
+  int rounds = 0;
+};
+
+CcResult connected_components(const Engine& eng);
+
+}  // namespace vebo::algo

@@ -1,0 +1,34 @@
+// PageRank by the power method (10 iterations by default, as in the
+// paper's Table II). The canonical edge-oriented, dense-frontier
+// algorithm: every iteration touches every edge, which is why per-
+// partition edge/destination balance translates directly into runtime.
+#pragma once
+
+#include <vector>
+
+#include "framework/engine.hpp"
+
+namespace vebo::algo {
+
+struct PageRankOptions {
+  int iterations = 10;
+  double damping = 0.85;
+  /// Use the partitioned COO path (GraphGrind style) instead of CSC pull.
+  bool use_coo = false;
+};
+
+struct PageRankResult {
+  std::vector<double> rank;
+  int iterations = 0;
+  double total_mass = 0.0;  ///< sum of ranks (diagnostic)
+};
+
+PageRankResult pagerank(const Engine& eng, const PageRankOptions& opts = {});
+
+/// One PR iteration over the partitioned COO, timing each partition's
+/// sequential processing (the measurement behind Figures 1, 4 and 6).
+/// Returns seconds per partition.
+std::vector<double> pagerank_partition_times(const Engine& eng,
+                                             int repeats = 3);
+
+}  // namespace vebo::algo

@@ -1,0 +1,31 @@
+// PageRank-Delta (Ligra's PRD): propagates only rank *changes* above a
+// threshold, so the frontier shrinks as vertices converge. This is the
+// algorithm behind the paper's motivating observation — low-degree
+// vertices converge before high-degree ones, so partitions dominated by
+// low-degree vertices fall idle early under edge-only balancing.
+#pragma once
+
+#include <vector>
+
+#include "framework/engine.hpp"
+
+namespace vebo::algo {
+
+struct PageRankDeltaOptions {
+  int max_iterations = 10;
+  double damping = 0.85;
+  /// A vertex stays active while |delta| > epsilon * rank.
+  double epsilon = 1e-2;
+};
+
+struct PageRankDeltaResult {
+  std::vector<double> rank;
+  int iterations = 0;
+  /// Active-vertex count per iteration (frontier decay diagnostic).
+  std::vector<VertexId> active_per_iteration;
+};
+
+PageRankDeltaResult pagerank_delta(const Engine& eng,
+                                   const PageRankDeltaOptions& opts = {});
+
+}  // namespace vebo::algo

@@ -1,0 +1,63 @@
+#include "algorithms/registry.hpp"
+
+#include "algorithms/bc.hpp"
+#include "algorithms/bellman_ford.hpp"
+#include "algorithms/bfs.hpp"
+#include "algorithms/bp.hpp"
+#include "algorithms/cc.hpp"
+#include "algorithms/pagerank.hpp"
+#include "algorithms/pagerank_delta.hpp"
+#include "algorithms/spmv.hpp"
+#include "support/error.hpp"
+
+namespace vebo::algo {
+
+const std::vector<AlgorithmInfo>& algorithms() {
+  static const std::vector<AlgorithmInfo> algos = {
+      {"BC", "betweenness centrality (single source)", false, false,
+       [](const Engine& eng, VertexId src) {
+         const auto r = betweenness(eng, src);
+         double sum = 0.0;
+         for (double d : r.dependency) sum += d;
+         return sum;
+       }},
+      {"CC", "connected components (label propagation)", true, true,
+       [](const Engine& eng, VertexId) {
+         return static_cast<double>(connected_components(eng).num_components);
+       }},
+      {"PR", "PageRank, power method, 10 iterations", true, true,
+       [](const Engine& eng, VertexId) {
+         return pagerank(eng, {.iterations = 10}).total_mass;
+       }},
+      {"BFS", "breadth-first search", false, false,
+       [](const Engine& eng, VertexId src) {
+         return static_cast<double>(bfs(eng, src).reached);
+       }},
+      {"PRD", "PageRank with delta updates", true, false,
+       [](const Engine& eng, VertexId) {
+         const auto r = pagerank_delta(eng);
+         double sum = 0.0;
+         for (double x : r.rank) sum += x;
+         return sum;
+       }},
+      {"SPMV", "sparse matrix-vector multiply, 1 iteration", true, true,
+       [](const Engine& eng, VertexId) { return spmv(eng).checksum; }},
+      {"BF", "Bellman-Ford single-source shortest paths", false, false,
+       [](const Engine& eng, VertexId src) {
+         return static_cast<double>(bellman_ford(eng, src).reached);
+       }},
+      {"BP", "belief propagation, 10 iterations", true, true,
+       [](const Engine& eng, VertexId) {
+         return belief_propagation(eng).residual;
+       }},
+  };
+  return algos;
+}
+
+const AlgorithmInfo& algorithm(const std::string& code) {
+  for (const auto& a : algorithms())
+    if (a.code == code) return a;
+  throw Error("unknown algorithm code: " + code);
+}
+
+}  // namespace vebo::algo

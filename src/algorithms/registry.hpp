@@ -1,0 +1,30 @@
+// Name-indexed registry of the 8 evaluation algorithms so benchmarks can
+// sweep "all algorithms x all graphs x all orderings" exactly like the
+// paper's Table III.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "framework/engine.hpp"
+
+namespace vebo::algo {
+
+struct AlgorithmInfo {
+  std::string code;         ///< paper's code: BC, CC, PR, BFS, PRD, SPMV, BF, BP
+  std::string description;  ///< one-liner from Table II
+  bool edge_oriented;       ///< E vs V orientation (Table II)
+  bool dense_frontier;      ///< predominantly dense frontiers (Table II)
+  /// Runs the algorithm with Table II's default parameters and returns a
+  /// checksum (forces the computation; value is implementation-defined).
+  std::function<double(const Engine&, VertexId source)> run;
+};
+
+/// All 8 algorithms in the paper's order.
+const std::vector<AlgorithmInfo>& algorithms();
+
+/// Lookup by code; throws vebo::Error on unknown code.
+const AlgorithmInfo& algorithm(const std::string& code);
+
+}  // namespace vebo::algo

@@ -1,0 +1,53 @@
+#include "algorithms/spmv.hpp"
+
+#include "support/error.hpp"
+#include "support/prng.hpp"
+
+namespace vebo::algo {
+
+double edge_weight(VertexId u, VertexId v) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(u) << 32) | static_cast<std::uint64_t>(v);
+  return 1.0 + static_cast<double>(mix64(key) % 32);
+}
+
+SpmvResult spmv(const Engine& eng, const std::vector<double>& x) {
+  const Graph& g = eng.graph();
+  const VertexId n = g.num_vertices();
+  VEBO_CHECK(x.size() == n, "spmv: x size mismatch");
+
+  SpmvResult res;
+  res.y.assign(n, 0.0);
+
+  if (eng.partitioned()) {
+    // COO path over destination partitions (disjoint writes).
+    const PartitionedCoo& coo = eng.partitioned_coo();
+    parallel_for(
+        0, coo.num_partitions(),
+        [&](std::size_t p) {
+          for (const Edge& e : coo.partition(p))
+            res.y[e.dst] += edge_weight(e.src, e.dst) * x[e.src];
+        },
+        eng.partition_loop());
+  } else {
+    parallel_for(
+        0, n,
+        [&](std::size_t v) {
+          double acc = 0.0;
+          for (VertexId u : g.in_neighbors(static_cast<VertexId>(v)))
+            acc += edge_weight(u, static_cast<VertexId>(v)) * x[u];
+          res.y[v] = acc;
+        },
+        eng.vertex_loop());
+  }
+  for (double v : res.y) res.checksum += v;
+  return res;
+}
+
+SpmvResult spmv(const Engine& eng) {
+  const VertexId n = eng.graph().num_vertices();
+  std::vector<double> x(n, 1.0 / static_cast<double>(std::max<VertexId>(1, n)));
+  return spmv(eng, x);
+}
+
+}  // namespace vebo::algo

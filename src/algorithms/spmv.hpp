@@ -1,0 +1,27 @@
+// Sparse matrix-vector multiplication (1 iteration, dense): y = A^T x
+// where A is the adjacency matrix and values are derived from a
+// deterministic per-edge weight. Edge-oriented with a fully dense
+// frontier — the purest measure of per-partition edge throughput.
+#pragma once
+
+#include <vector>
+
+#include "framework/engine.hpp"
+
+namespace vebo::algo {
+
+/// Deterministic edge weight in [1, 32], a pure function of endpoint ids.
+double edge_weight(VertexId u, VertexId v);
+
+struct SpmvResult {
+  std::vector<double> y;
+  double checksum = 0.0;
+};
+
+/// y[v] = sum over in-edges (u, v) of weight(u, v) * x[u].
+SpmvResult spmv(const Engine& eng, const std::vector<double>& x);
+
+/// Convenience: x = 1/n everywhere.
+SpmvResult spmv(const Engine& eng);
+
+}  // namespace vebo::algo

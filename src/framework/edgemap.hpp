@@ -1,0 +1,173 @@
+// edgemap / vertexmap: the two traversal primitives of Ligra, Polymer and
+// GraphGrind (Section IV of the paper).
+//
+// An edgemap functor F provides (Ligra's interface):
+//   bool update(u, v)        — apply edge u->v; single writer per v (pull)
+//   bool update_atomic(u, v) — apply edge u->v; concurrent writers (push)
+//   bool cond(v)             — should destination v still be processed?
+// Both update functions return true iff v became active for the next
+// frontier.
+//
+// Direction reversal: sparse frontiers traverse out-edges of active
+// vertices (push); frontiers denser than |E|/20 traverse in-edges of every
+// destination satisfying cond (pull). Partitioned engines (Polymer,
+// GraphGrind) run the pull phase partition-by-partition under static
+// scheduling — the configuration whose load balance VEBO fixes.
+#pragma once
+
+#include <vector>
+
+#include "framework/engine.hpp"
+#include "framework/vertex_subset.hpp"
+#include "support/bitset.hpp"
+
+namespace vebo {
+
+enum class Direction { Auto, Push, Pull };
+
+struct EdgeMapOptions {
+  Direction direction = Direction::Auto;
+  /// Pull loop breaks out of a destination's in-edge scan as soon as
+  /// cond(v) turns false (Ligra's early exit, e.g. BFS parent setting).
+  bool pull_early_exit = true;
+};
+
+namespace detail {
+
+/// Sum of out-degrees of the frontier (sparse representation).
+inline EdgeId frontier_out_edges(const Graph& g, const VertexSubset& f) {
+  EdgeId sum = 0;
+  f.for_each([&](VertexId v) { sum += g.out_degree(v); });
+  return sum;
+}
+
+}  // namespace detail
+
+/// Dense (pull) edgemap over destination range [lo, hi).
+template <typename F>
+void edge_map_pull_range(const Graph& g, const DynamicBitset& frontier,
+                         AtomicBitset& next, F& f, VertexId lo, VertexId hi,
+                         bool early_exit) {
+  for (VertexId v = lo; v < hi; ++v) {
+    if (!f.cond(v)) continue;
+    for (VertexId u : g.in_neighbors(v)) {
+      if (!frontier.get(u)) continue;
+      if (f.update(u, v)) next.set(v);
+      if (early_exit && !f.cond(v)) break;
+    }
+  }
+}
+
+/// Applies F over all edges whose source is in `frontier`; returns the
+/// next frontier. The traversal direction follows the engine's density
+/// heuristic unless forced via `opts.direction`.
+template <typename F>
+VertexSubset edge_map(const Engine& eng, VertexSubset& frontier, F f,
+                      const EdgeMapOptions& opts = {}) {
+  const Graph& g = eng.graph();
+  const VertexId n = g.num_vertices();
+
+  bool pull;
+  switch (opts.direction) {
+    case Direction::Push: pull = false; break;
+    case Direction::Pull: pull = true; break;
+    case Direction::Auto: {
+      // |frontier| + |out-edges(frontier)| > m/20 -> dense.
+      EdgeId work = frontier.size();
+      if (frontier.is_dense()) {
+        // Dense frontiers are already past the threshold in practice;
+        // compute from bits without converting.
+        frontier.for_each([&](VertexId v) { work += g.out_degree(v); });
+      } else {
+        work += detail::frontier_out_edges(g, frontier);
+      }
+      pull = work > eng.dense_threshold();
+      break;
+    }
+    default: pull = false; break;
+  }
+
+  AtomicBitset next(n);
+  if (pull) {
+    frontier.to_dense();
+    const DynamicBitset& fbits = frontier.bits();
+    if (eng.partitioned()) {
+      // Partition-per-task static scheduling (Polymer/GraphGrind).
+      const auto& part = eng.partitioning();
+      parallel_for(
+          0, part.num_partitions(),
+          [&](std::size_t p) {
+            edge_map_pull_range(g, fbits, next, f,
+                                part.begin(static_cast<VertexId>(p)),
+                                part.end(static_cast<VertexId>(p)),
+                                opts.pull_early_exit);
+          },
+          eng.partition_loop());
+    } else {
+      parallel_for_range(
+          0, n,
+          [&](std::size_t lo, std::size_t hi) {
+            edge_map_pull_range(g, fbits, next, f,
+                                static_cast<VertexId>(lo),
+                                static_cast<VertexId>(hi),
+                                opts.pull_early_exit);
+          },
+          eng.vertex_loop());
+    }
+    DynamicBitset out(n);
+    for (VertexId v = 0; v < n; ++v)
+      if (next.get(v)) out.set(v);
+    return VertexSubset::from_bitset(std::move(out));
+  }
+
+  // Sparse push.
+  frontier.to_sparse();
+  auto ids = frontier.vertices();
+  parallel_for(
+      0, ids.size(),
+      [&](std::size_t i) {
+        const VertexId u = ids[i];
+        for (VertexId v : g.out_neighbors(u))
+          if (f.cond(v) && f.update_atomic(u, v)) next.set(v);
+      },
+      eng.vertex_loop());
+  std::vector<VertexId> out;
+  for (VertexId v = 0; v < n; ++v)
+    if (next.get(v)) out.push_back(v);
+  return VertexSubset::from_sparse(n, std::move(out));
+}
+
+/// Applies fn(v) to every member of the subset (parallel; fn must be safe
+/// to run concurrently on distinct vertices).
+template <typename Fn>
+void vertex_map(const Engine& eng, const VertexSubset& subset, Fn&& fn) {
+  if (subset.is_dense()) {
+    const DynamicBitset& bits = subset.bits();
+    parallel_for(
+        0, subset.universe_size(),
+        [&](std::size_t v) {
+          if (bits.get(static_cast<VertexId>(v)))
+            fn(static_cast<VertexId>(v));
+        },
+        eng.vertex_loop());
+  } else {
+    auto ids = subset.vertices();
+    parallel_for(
+        0, ids.size(), [&](std::size_t i) { fn(ids[i]); },
+        eng.vertex_loop());
+  }
+}
+
+/// Keeps the members where pred(v) is true; returns a sparse subset.
+template <typename Pred>
+VertexSubset vertex_filter(const Engine& eng, const VertexSubset& subset,
+                           Pred&& pred) {
+  (void)eng;
+  std::vector<VertexId> out;
+  subset.for_each([&](VertexId v) {
+    if (pred(v)) out.push_back(v);
+  });
+  return VertexSubset::from_sparse(subset.universe_size(), std::move(out));
+}
+
+}  // namespace vebo

@@ -1,0 +1,88 @@
+#include "framework/engine.hpp"
+
+#include "support/error.hpp"
+
+namespace vebo {
+
+std::string to_string(SystemModel m) {
+  switch (m) {
+    case SystemModel::Ligra: return "Ligra";
+    case SystemModel::Polymer: return "Polymer";
+    case SystemModel::GraphGrind: return "GraphGrind";
+  }
+  return "?";
+}
+
+namespace {
+VertexId default_partitions(SystemModel m) {
+  switch (m) {
+    case SystemModel::Ligra: return 0;        // Ligra does not partition
+    case SystemModel::Polymer: return 4;      // one per NUMA node (paper)
+    case SystemModel::GraphGrind: return 384; // paper's recommendation
+  }
+  return 0;
+}
+}  // namespace
+
+Engine::Engine(const Graph& g, SystemModel model, EngineOptions opts)
+    : graph_(&g), model_(model), opts_(opts) {
+  VEBO_CHECK(opts_.dense_denominator >= 1, "dense_denominator must be >= 1");
+  if (opts_.explicit_partitioning != nullptr) {
+    part_ = *opts_.explicit_partitioning;
+    partitions_ = part_.num_partitions();
+    VEBO_CHECK(part_.boundaries.back() == g.num_vertices(),
+               "explicit partitioning does not cover the vertex set");
+    return;
+  }
+  partitions_ = opts_.partitions ? opts_.partitions
+                                 : default_partitions(model);
+  if (partitions_ > 0) {
+    // Never more partitions than vertices.
+    partitions_ = std::min<VertexId>(partitions_, g.num_vertices());
+    part_ = order::partition_by_destination(g, partitions_);
+  }
+}
+
+ForOptions Engine::vertex_loop() const {
+  ForOptions o;
+  o.pool = opts_.pool;
+  switch (model_) {
+    case SystemModel::Ligra:
+      // Cilk-style dynamic scheduling; fine grain to mimic recursive
+      // splitting of the iteration range.
+      o.schedule = Schedule::Dynamic;
+      o.grain = 256;
+      break;
+    case SystemModel::Polymer:
+      o.schedule = Schedule::Static;
+      break;
+    case SystemModel::GraphGrind:
+      // Static binding of partitions to sockets with dynamic distribution
+      // inside; for a vertex loop this behaves like guided scheduling.
+      o.schedule = Schedule::Guided;
+      o.grain = 512;
+      break;
+  }
+  return o;
+}
+
+ForOptions Engine::partition_loop() const {
+  ForOptions o;
+  o.pool = opts_.pool;
+  o.schedule =
+      model_ == SystemModel::Ligra ? Schedule::Dynamic : Schedule::Static;
+  o.grain = 1;
+  o.serial_cutoff = 1;
+  return o;
+}
+
+const PartitionedCoo& Engine::partitioned_coo() const {
+  VEBO_CHECK(partitioned(), "partitioned_coo requires a partitioned model");
+  if (!coo_built_) {
+    coo_ = build_partitioned_coo(*graph_, part_, opts_.edge_order);
+    coo_built_ = true;
+  }
+  return coo_;
+}
+
+}  // namespace vebo

@@ -1,0 +1,83 @@
+// Engine: the execution context binding a graph to one of the paper's
+// three system models.
+//
+//  * SystemModel::Ligra      — no explicit partitioning; vertex loops use
+//    dynamic (Cilk-like) scheduling; no locality optimization.
+//  * SystemModel::Polymer    — Algorithm-1 partitioning with one partition
+//    per simulated NUMA node (default 4); static scheduling, so a loop's
+//    completion time is the slowest partition's time.
+//  * SystemModel::GraphGrind — heavy over-partitioning (default 384,
+//    the paper's recommendation); static outer scheduling over partitions
+//    with dynamic distribution inside a simulated socket; dense COO
+//    traversal in Hilbert or CSR edge order.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "framework/coo_iter.hpp"
+#include "graph/graph.hpp"
+#include "order/partition.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace vebo {
+
+enum class SystemModel { Ligra, Polymer, GraphGrind };
+
+std::string to_string(SystemModel m);
+
+struct EngineOptions {
+  /// Number of partitions; 0 = model default (Ligra: none, Polymer: 4,
+  /// GraphGrind: 384).
+  VertexId partitions = 0;
+  /// Explicit destination partitioning (e.g. VEBO's own boundaries).
+  /// When set it overrides `partitions`; otherwise Algorithm 1 derives
+  /// the chunks. Copied into the engine.
+  const order::Partitioning* explicit_partitioning = nullptr;
+  /// Edge order for the GraphGrind COO path.
+  EdgeOrder edge_order = EdgeOrder::Csr;
+  /// Frontier density denominator: dense traversal when
+  /// |active| + |active out-edges| > m / dense_denominator (Ligra's 20).
+  EdgeId dense_denominator = 20;
+  /// Thread pool override (nullptr = global pool).
+  ThreadPool* pool = nullptr;
+};
+
+class Engine {
+ public:
+  Engine(const Graph& g, SystemModel model, EngineOptions opts = {});
+
+  const Graph& graph() const { return *graph_; }
+  SystemModel model() const { return model_; }
+  const EngineOptions& options() const { return opts_; }
+
+  bool partitioned() const { return partitions_ > 0; }
+  VertexId num_partitions() const { return partitions_; }
+  const order::Partitioning& partitioning() const { return part_; }
+
+  /// Scheduling for loops over vertices/destinations, per system model.
+  ForOptions vertex_loop() const;
+  /// Scheduling for loops over partitions (static in Polymer/GraphGrind).
+  ForOptions partition_loop() const;
+
+  /// Frontier size threshold above which edgemap switches to the dense
+  /// (pull) traversal.
+  EdgeId dense_threshold() const {
+    return graph_->num_edges() / opts_.dense_denominator;
+  }
+
+  /// Lazily built partitioned COO in the engine's edge order (GraphGrind
+  /// dense path; available for all models for benchmarking).
+  const PartitionedCoo& partitioned_coo() const;
+
+ private:
+  const Graph* graph_;
+  SystemModel model_;
+  EngineOptions opts_;
+  VertexId partitions_ = 0;
+  order::Partitioning part_;
+  mutable PartitionedCoo coo_;  // lazy
+  mutable bool coo_built_ = false;
+};
+
+}  // namespace vebo

@@ -1,0 +1,89 @@
+#include "framework/vertex_subset.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace vebo {
+
+VertexSubset VertexSubset::empty(VertexId n) {
+  VertexSubset s;
+  s.n_ = n;
+  s.dense_ = false;
+  return s;
+}
+
+VertexSubset VertexSubset::single(VertexId n, VertexId v) {
+  VEBO_CHECK(v < n, "vertex out of range");
+  VertexSubset s = empty(n);
+  s.sparse_.push_back(v);
+  s.size_ = 1;
+  return s;
+}
+
+VertexSubset VertexSubset::all(VertexId n) {
+  VertexSubset s;
+  s.n_ = n;
+  s.dense_ = true;
+  s.bits_ = DynamicBitset(n, true);
+  s.size_ = n;
+  return s;
+}
+
+VertexSubset VertexSubset::from_sparse(VertexId n,
+                                       std::vector<VertexId> ids) {
+  VertexSubset s;
+  s.n_ = n;
+  s.dense_ = false;
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  for (VertexId v : ids) VEBO_CHECK(v < n, "vertex out of range");
+  s.size_ = static_cast<VertexId>(ids.size());
+  s.sparse_ = std::move(ids);
+  return s;
+}
+
+VertexSubset VertexSubset::from_bitset(DynamicBitset bits) {
+  VertexSubset s;
+  s.n_ = static_cast<VertexId>(bits.size());
+  s.dense_ = true;
+  s.size_ = static_cast<VertexId>(bits.count());
+  s.bits_ = std::move(bits);
+  return s;
+}
+
+bool VertexSubset::contains(VertexId v) const {
+  if (dense_) return bits_.get(v);
+  return std::binary_search(sparse_.begin(), sparse_.end(), v);
+}
+
+void VertexSubset::to_dense() {
+  if (dense_) return;
+  bits_ = DynamicBitset(n_);
+  for (VertexId v : sparse_) bits_.set(v);
+  sparse_.clear();
+  sparse_.shrink_to_fit();
+  dense_ = true;
+}
+
+void VertexSubset::to_sparse() {
+  if (!dense_) return;
+  sparse_.clear();
+  sparse_.reserve(size_);
+  for (VertexId v = 0; v < n_; ++v)
+    if (bits_.get(v)) sparse_.push_back(v);
+  bits_ = DynamicBitset();
+  dense_ = false;
+}
+
+std::span<const VertexId> VertexSubset::vertices() const {
+  VEBO_CHECK(!dense_, "vertices() requires sparse representation");
+  return sparse_;
+}
+
+const DynamicBitset& VertexSubset::bits() const {
+  VEBO_CHECK(dense_, "bits() requires dense representation");
+  return bits_;
+}
+
+}  // namespace vebo

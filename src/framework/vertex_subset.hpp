@@ -1,0 +1,64 @@
+// VertexSubset: the frontier abstraction of Ligra. A subset of vertices
+// kept either sparse (sorted id list) or dense (bitset); edgemap converts
+// between the two based on frontier density (the direction-reversal
+// heuristic of Beamer et al. adopted by all three systems in the paper).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "support/bitset.hpp"
+
+namespace vebo {
+
+class VertexSubset {
+ public:
+  VertexSubset() = default;
+
+  static VertexSubset empty(VertexId n);
+  static VertexSubset single(VertexId n, VertexId v);
+  static VertexSubset all(VertexId n);
+  /// Takes ownership of a sparse id list (sorted or not; will be sorted).
+  static VertexSubset from_sparse(VertexId n, std::vector<VertexId> ids);
+  static VertexSubset from_bitset(DynamicBitset bits);
+
+  VertexId universe_size() const { return n_; }
+  /// Number of vertices in the subset.
+  VertexId size() const { return size_; }
+  bool empty_set() const { return size_ == 0; }
+
+  bool is_dense() const { return dense_; }
+
+  /// Membership test (works in both representations).
+  bool contains(VertexId v) const;
+
+  /// Converts in place.
+  void to_dense();
+  void to_sparse();
+
+  /// Sparse view (requires sparse representation).
+  std::span<const VertexId> vertices() const;
+  /// Dense view (requires dense representation).
+  const DynamicBitset& bits() const;
+
+  /// Applies fn(v) for each member, in ascending id order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    if (dense_) {
+      for (VertexId v = 0; v < n_; ++v)
+        if (bits_.get(v)) fn(v);
+    } else {
+      for (VertexId v : sparse_) fn(v);
+    }
+  }
+
+ private:
+  VertexId n_ = 0;
+  VertexId size_ = 0;
+  bool dense_ = false;
+  std::vector<VertexId> sparse_;
+  DynamicBitset bits_;
+};
+
+}  // namespace vebo

@@ -1,0 +1,32 @@
+// Scaled-down deterministic stand-ins for the paper's 8 evaluation graphs
+// (Table I). Each stand-in matches the original's qualitative profile:
+// directedness, skew (power-law vs near-uniform), and the presence of
+// zero-in-degree vertices. A single `scale` knob multiplies sizes so tests
+// use tiny graphs and benches use larger ones.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace vebo::gen {
+
+struct DatasetSpec {
+  std::string name;        ///< e.g. "twitter"
+  std::string paper_name;  ///< e.g. "Twitter (41.7M/1.47B)"
+  bool directed = true;
+  bool powerlaw = true;
+};
+
+/// Names: twitter, friendster, orkut, livejournal, yahoo, usaroad,
+/// powerlaw, rmat27.
+const std::vector<DatasetSpec>& dataset_specs();
+
+/// Builds the named stand-in. `scale` in [0.1, 8] multiplies the base
+/// vertex count (base ~ 32k-64k vertices). Throws on unknown name.
+Graph make_dataset(const std::string& name, double scale = 1.0,
+                   std::uint64_t seed = 42);
+
+}  // namespace vebo::gen

@@ -1,0 +1,24 @@
+#include "gen/erdos.hpp"
+
+#include "support/error.hpp"
+#include "support/prng.hpp"
+
+namespace vebo::gen {
+
+Graph erdos_renyi(VertexId n, EdgeId m, std::uint64_t seed, bool directed) {
+  VEBO_CHECK(n > 1, "erdos_renyi: need at least 2 vertices");
+  Xoshiro256 rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  for (EdgeId e = 0; e < m; ++e) {
+    VertexId u = static_cast<VertexId>(rng.next_below(n));
+    VertexId v = static_cast<VertexId>(rng.next_below(n));
+    if (u == v) v = (v + 1) % n;
+    edges.push_back({u, v});
+  }
+  EdgeList el(n, std::move(edges), directed);
+  if (!directed) el.symmetrize();
+  return Graph::from_edges(std::move(el));
+}
+
+}  // namespace vebo::gen

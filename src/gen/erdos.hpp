@@ -1,0 +1,17 @@
+// Erdős–Rényi G(n, m) generator: the non-skewed control case used in
+// tests (VEBO's theorems assume power-law degrees; ER shows behaviour on
+// near-binomial degrees).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace vebo::gen {
+
+/// Directed G(n, m): m edges sampled uniformly with replacement,
+/// self-loops excluded.
+Graph erdos_renyi(VertexId n, EdgeId m, std::uint64_t seed,
+                  bool directed = true);
+
+}  // namespace vebo::gen

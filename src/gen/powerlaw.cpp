@@ -1,0 +1,119 @@
+#include "gen/powerlaw.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/histogram.hpp"
+#include "support/prng.hpp"
+
+namespace vebo::gen {
+
+std::vector<EdgeId> zipf_degree_sequence(VertexId n, std::uint64_t seed,
+                                         const ZipfOptions& opts) {
+  VEBO_CHECK(n > 0, "zipf: n must be positive");
+  VEBO_CHECK(opts.s >= 0.0, "zipf: s must be non-negative");
+  const std::size_t N = opts.ranks ? opts.ranks : std::max<std::size_t>(2, n / 4);
+  // Build the CDF over ranks 1..N; rank k has probability k^-s / H_{N,s}
+  // and maps to in-degree k-1.
+  std::vector<double> cdf(N);
+  double acc = 0.0;
+  for (std::size_t k = 1; k <= N; ++k) {
+    acc += std::pow(static_cast<double>(k), -opts.s);
+    cdf[k - 1] = acc;
+  }
+  for (double& c : cdf) c /= acc;
+
+  Xoshiro256 rng(seed);
+  std::vector<EdgeId> deg(n);
+  for (VertexId v = 0; v < n; ++v) {
+    const double u = rng.next_double();
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    const std::size_t rank = static_cast<std::size_t>(it - cdf.begin()) + 1;
+    deg[v] = static_cast<EdgeId>(rank - 1);
+  }
+  if (opts.hub_locality > 0.0) {
+    VEBO_CHECK(opts.hub_locality <= 1.0, "hub_locality must be in [0,1]");
+    // Crawl-order model: sort descending, then windowed shuffle so the
+    // id-degree trend survives local noise.
+    std::sort(deg.rbegin(), deg.rend());
+    const std::size_t window = std::max<std::size_t>(
+        1, static_cast<std::size_t>((1.0 - opts.hub_locality) * n));
+    for (VertexId v = 0; v < n; ++v) {
+      const std::size_t lo = v >= window ? v - window : 0;
+      const std::size_t j = lo + rng.next_below(v - lo + 1);
+      std::swap(deg[v], deg[j]);
+    }
+  }
+  return deg;
+}
+
+Graph graph_from_in_degrees(const std::vector<EdgeId>& in_degree,
+                            std::uint64_t seed) {
+  const VertexId n = static_cast<VertexId>(in_degree.size());
+  VEBO_CHECK(n > 1, "graph_from_in_degrees: need at least 2 vertices");
+  Xoshiro256 rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  std::vector<Edge> edges;
+  EdgeId total = 0;
+  for (EdgeId d : in_degree) total += d;
+  edges.reserve(total);
+  for (VertexId v = 0; v < n; ++v) {
+    for (EdgeId i = 0; i < in_degree[v]; ++i) {
+      VertexId src = static_cast<VertexId>(rng.next_below(n));
+      if (src == v) src = (src + 1) % n;  // avoid self-loop, keep degree
+      edges.push_back({src, v});
+    }
+  }
+  return Graph::from_edges(EdgeList(n, std::move(edges), /*directed=*/true));
+}
+
+Graph zipf_directed(VertexId n, std::uint64_t seed, const ZipfOptions& opts) {
+  return graph_from_in_degrees(zipf_degree_sequence(n, seed, opts), seed);
+}
+
+Graph chung_lu(VertexId n, double alpha, double avg_degree,
+               std::uint64_t seed) {
+  VEBO_CHECK(n > 1, "chung_lu: need at least 2 vertices");
+  VEBO_CHECK(alpha > 1.0, "chung_lu: alpha must exceed 1");
+  // Expected weights w_v ~ v^{-1/(alpha-1)} (standard construction),
+  // scaled so the mean weight is avg_degree/... we scale to hit the
+  // requested expected average degree.
+  std::vector<double> w(n);
+  const double exponent = -1.0 / (alpha - 1.0);
+  double sum = 0.0;
+  for (VertexId v = 0; v < n; ++v) {
+    w[v] = std::pow(static_cast<double>(v + 1), exponent);
+    sum += w[v];
+  }
+  const double scale = avg_degree * static_cast<double>(n) / sum;
+  for (double& x : w) x *= scale;
+  const double W = avg_degree * static_cast<double>(n);
+
+  // Efficient Chung–Lu sampling (Miller–Hagberg): walk vertex pairs in
+  // weight order with geometric skips.
+  Xoshiro256 rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(W / 2));
+  for (VertexId u = 0; u < n; ++u) {
+    VertexId v = u + 1;
+    double p = std::min(1.0, w[u] * w[u + 1 < n ? u + 1 : u] / W);
+    while (v < n && p > 0) {
+      if (p < 1.0) {
+        const double r = rng.next_double();
+        v += static_cast<VertexId>(std::floor(std::log(1.0 - r) /
+                                              std::log(1.0 - p)));
+      }
+      if (v < n) {
+        const double q = std::min(1.0, w[u] * w[v] / W);
+        if (rng.next_double() < q / p) edges.push_back({u, v});
+        p = q;
+        ++v;
+      }
+    }
+  }
+  EdgeList el(n, std::move(edges), /*directed=*/false);
+  el.symmetrize();
+  return Graph::from_edges(std::move(el));
+}
+
+}  // namespace vebo::gen

@@ -1,0 +1,49 @@
+// Power-law graph generators matching the paper's degree-distribution
+// model (Section III-A): in-degrees follow a Zipf distribution with
+// exponent s over N ranks. Two generators:
+//  * zipf_directed: draws an explicit Zipf in-degree sequence and attaches
+//    uniformly random sources — the literal model of Theorems 1 and 2.
+//  * chung_lu: undirected expected-degree model (the "Powerlaw (alpha=2)"
+//    dataset of Table I).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace vebo::gen {
+
+struct ZipfOptions {
+  double s = 1.0;        ///< Zipf exponent (paper: alpha = 1 + 1/s)
+  std::size_t ranks = 0; ///< N; 0 = derive as n/4
+  /// Correlation between vertex id and degree, mimicking crawl order in
+  /// real social graphs (early-crawled users are hubs). 0 = degrees are
+  /// i.i.d. across ids; 1 = ids sorted by decreasing degree. Implemented
+  /// as a windowed shuffle of the sorted degree sequence with window
+  /// (1 - hub_locality) * n.
+  double hub_locality = 0.0;
+};
+
+/// Samples n in-degrees from the Zipf pmf p_k = k^-s / H_{N,s}, where a
+/// vertex sampled at rank k has in-degree k-1 (so degree 0 is the most
+/// frequent, matching the paper).
+std::vector<EdgeId> zipf_degree_sequence(VertexId n, std::uint64_t seed,
+                                         const ZipfOptions& opts = {});
+
+/// Directed graph whose in-degree sequence is exactly the given one;
+/// the source of every edge is uniform random (multi-edges allowed,
+/// self-loops removed).
+Graph graph_from_in_degrees(const std::vector<EdgeId>& in_degree,
+                            std::uint64_t seed);
+
+/// Convenience: Zipf directed graph.
+Graph zipf_directed(VertexId n, std::uint64_t seed,
+                    const ZipfOptions& opts = {});
+
+/// Chung–Lu undirected power-law graph with exponent alpha and expected
+/// average degree approx `avg_degree`.
+Graph chung_lu(VertexId n, double alpha, double avg_degree,
+               std::uint64_t seed);
+
+}  // namespace vebo::gen

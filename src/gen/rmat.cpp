@@ -1,0 +1,64 @@
+#include "gen/rmat.hpp"
+
+#include "support/error.hpp"
+#include "support/prng.hpp"
+
+namespace vebo::gen {
+
+EdgeList rmat_edges(int scale, EdgeId edge_factor, std::uint64_t seed,
+                    const RmatOptions& opts) {
+  VEBO_CHECK(scale > 0 && scale < 31, "rmat scale out of range");
+  VEBO_CHECK(opts.a + opts.b + opts.c < 1.0 + 1e-9,
+             "rmat probabilities must sum to < 1 (d is the remainder)");
+  const VertexId n = VertexId{1} << scale;
+  const EdgeId m = edge_factor * static_cast<EdgeId>(n);
+  Xoshiro256 rng(seed);
+
+  // Optional scramble permutation so vertex id carries no structure.
+  std::vector<VertexId> scramble;
+  if (opts.scramble) {
+    scramble.resize(n);
+    for (VertexId v = 0; v < n; ++v) scramble[v] = v;
+    for (VertexId v = n - 1; v > 0; --v) {
+      const VertexId j = static_cast<VertexId>(rng.next_below(v + 1));
+      std::swap(scramble[v], scramble[j]);
+    }
+  }
+
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  const double ab = opts.a + opts.b;
+  const double abc = opts.a + opts.b + opts.c;
+  for (EdgeId e = 0; e < m; ++e) {
+    VertexId src = 0, dst = 0;
+    for (int bit = 0; bit < scale; ++bit) {
+      const double r = rng.next_double();
+      // Quadrant selection with per-level noise as in Graph500.
+      if (r < opts.a) {
+        // top-left: neither bit set
+      } else if (r < ab) {
+        dst |= VertexId{1} << bit;
+      } else if (r < abc) {
+        src |= VertexId{1} << bit;
+      } else {
+        src |= VertexId{1} << bit;
+        dst |= VertexId{1} << bit;
+      }
+    }
+    if (opts.scramble) {
+      src = scramble[src];
+      dst = scramble[dst];
+    }
+    edges.push_back({src, dst});
+  }
+  EdgeList el(n, std::move(edges), /*directed=*/true);
+  if (opts.dedupe) el.remove_duplicates();
+  return el;
+}
+
+Graph rmat(int scale, EdgeId edge_factor, std::uint64_t seed,
+           const RmatOptions& opts) {
+  return Graph::from_edges(rmat_edges(scale, edge_factor, seed, opts));
+}
+
+}  // namespace vebo::gen

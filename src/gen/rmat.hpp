@@ -1,0 +1,28 @@
+// R-MAT recursive-matrix graph generator (Chakrabarti et al.), the
+// generator behind the paper's RMAT27 dataset. Produces heavily skewed,
+// power-law-like directed graphs with many zero-degree vertices.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.hpp"
+#include "graph/graph.hpp"
+
+namespace vebo::gen {
+
+struct RmatOptions {
+  double a = 0.57;  ///< Graph500 defaults
+  double b = 0.19;
+  double c = 0.19;  ///< d = 1 - a - b - c
+  bool scramble = true;   ///< randomize vertex ids to kill generation order
+  bool dedupe = false;    ///< drop duplicate edges
+};
+
+/// Generates ~(edge_factor * 2^scale) directed edges over 2^scale vertices.
+EdgeList rmat_edges(int scale, EdgeId edge_factor, std::uint64_t seed,
+                    const RmatOptions& opts = {});
+
+Graph rmat(int scale, EdgeId edge_factor, std::uint64_t seed,
+           const RmatOptions& opts = {});
+
+}  // namespace vebo::gen

@@ -1,0 +1,33 @@
+#include "gen/road.hpp"
+
+#include "support/error.hpp"
+#include "support/prng.hpp"
+
+namespace vebo::gen {
+
+Graph road_grid(VertexId rows, VertexId cols, std::uint64_t seed,
+                const RoadOptions& opts) {
+  VEBO_CHECK(rows >= 2 && cols >= 2, "road_grid: need at least a 2x2 grid");
+  const VertexId n = rows * cols;
+  Xoshiro256 rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * 2);
+  auto id = [cols](VertexId r, VertexId c) { return r * cols + c; };
+  for (VertexId r = 0; r < rows; ++r) {
+    for (VertexId c = 0; c < cols; ++c) {
+      const VertexId v = id(r, c);
+      if (c + 1 < cols && rng.next_double() >= opts.delete_prob)
+        edges.push_back({v, id(r, c + 1)});
+      if (r + 1 < rows && rng.next_double() >= opts.delete_prob)
+        edges.push_back({v, id(r + 1, c)});
+      if (r + 1 < rows && c + 1 < cols &&
+          rng.next_double() < opts.diagonal_prob)
+        edges.push_back({v, id(r + 1, c + 1)});
+    }
+  }
+  EdgeList el(n, std::move(edges), /*directed=*/false);
+  el.symmetrize();
+  return Graph::from_edges(std::move(el));
+}
+
+}  // namespace vebo::gen

@@ -1,0 +1,23 @@
+// Road-network stand-in for the paper's USAroad graph: a 2D grid with
+// occasional diagonal shortcuts and random deletions. Degrees are nearly
+// uniform (max <= 8), diameter is large, and vertex ids follow a
+// row-major sweep so the original ordering has strong spatial locality —
+// exactly the structure VEBO is shown to break in Section V-B.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace vebo::gen {
+
+struct RoadOptions {
+  double diagonal_prob = 0.05;  ///< chance of a diagonal shortcut per cell
+  double delete_prob = 0.03;    ///< chance of removing a grid edge
+};
+
+/// Undirected rows x cols grid road network.
+Graph road_grid(VertexId rows, VertexId cols, std::uint64_t seed,
+                const RoadOptions& opts = {});
+
+}  // namespace vebo::gen

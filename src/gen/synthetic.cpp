@@ -1,0 +1,90 @@
+#include "gen/synthetic.hpp"
+
+#include "support/error.hpp"
+#include "support/prng.hpp"
+
+namespace vebo::gen {
+
+Graph path(VertexId n, bool directed) {
+  VEBO_CHECK(n >= 2, "path: need at least 2 vertices");
+  std::vector<Edge> edges;
+  for (VertexId v = 0; v + 1 < n; ++v) edges.push_back({v, v + 1});
+  EdgeList el(n, std::move(edges), directed);
+  if (!directed) el.symmetrize();
+  return Graph::from_edges(std::move(el));
+}
+
+Graph cycle(VertexId n, bool directed) {
+  VEBO_CHECK(n >= 3, "cycle: need at least 3 vertices");
+  std::vector<Edge> edges;
+  for (VertexId v = 0; v < n; ++v) edges.push_back({v, (v + 1) % n});
+  EdgeList el(n, std::move(edges), directed);
+  if (!directed) el.symmetrize();
+  return Graph::from_edges(std::move(el));
+}
+
+Graph star(VertexId n, bool directed) {
+  VEBO_CHECK(n >= 2, "star: need at least 2 vertices");
+  std::vector<Edge> edges;
+  for (VertexId v = 1; v < n; ++v) edges.push_back({v, 0});
+  EdgeList el(n, std::move(edges), directed);
+  if (!directed) el.symmetrize();
+  return Graph::from_edges(std::move(el));
+}
+
+Graph complete(VertexId n, bool directed) {
+  VEBO_CHECK(n >= 2, "complete: need at least 2 vertices");
+  std::vector<Edge> edges;
+  for (VertexId u = 0; u < n; ++u)
+    for (VertexId v = 0; v < n; ++v)
+      if (u != v) edges.push_back({u, v});
+  EdgeList el(n, std::move(edges), directed);
+  return Graph::from_edges(std::move(el));
+}
+
+Graph figure3_example() {
+  // In-degrees: v0=1, v1=2, v2=2, v3=2, v4=4, v5=3 (total 14 edges).
+  std::vector<Edge> edges = {
+      {1, 0},                          // deg_in(0) = 1
+      {0, 1}, {2, 1},                  // deg_in(1) = 2
+      {3, 2}, {4, 2},                  // deg_in(2) = 2
+      {4, 3}, {5, 3},                  // deg_in(3) = 2
+      {0, 4}, {1, 4}, {3, 4}, {5, 4},  // deg_in(4) = 4
+      {0, 5}, {2, 5}, {4, 5},          // deg_in(5) = 3
+  };
+  return Graph::from_edges(EdgeList(6, std::move(edges), /*directed=*/true));
+}
+
+Graph preferential_attachment(VertexId n, VertexId attach,
+                              std::uint64_t seed) {
+  VEBO_CHECK(attach >= 1, "preferential_attachment: attach >= 1");
+  VEBO_CHECK(n > attach, "preferential_attachment: n must exceed attach");
+  Xoshiro256 rng(seed);
+  // `targets` holds one entry per edge endpoint, so sampling a uniform
+  // element samples vertices proportional to degree.
+  std::vector<VertexId> endpoints;
+  endpoints.reserve(static_cast<std::size_t>(n) * attach * 2);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * attach);
+  // Seed clique over the first attach+1 vertices.
+  for (VertexId u = 0; u <= attach; ++u)
+    for (VertexId v = u + 1; v <= attach; ++v) {
+      edges.push_back({u, v});
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  for (VertexId v = attach + 1; v < n; ++v) {
+    for (VertexId k = 0; k < attach; ++k) {
+      const VertexId target =
+          endpoints[rng.next_below(endpoints.size())];
+      edges.push_back({v, target});
+      endpoints.push_back(v);
+      endpoints.push_back(target);
+    }
+  }
+  EdgeList el(n, std::move(edges), /*directed=*/false);
+  el.symmetrize();
+  return Graph::from_edges(std::move(el));
+}
+
+}  // namespace vebo::gen

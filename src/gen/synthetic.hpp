@@ -1,0 +1,29 @@
+// Small deterministic fixture graphs for tests and examples, plus a
+// preferential-attachment generator (undirected social-network stand-in
+// for Orkut/LiveJournal) and the paper's 6-vertex worked example (Fig. 3).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace vebo::gen {
+
+Graph path(VertexId n, bool directed = true);
+Graph cycle(VertexId n, bool directed = true);
+/// Star with hub 0 and n-1 leaves; edges point leaf -> hub when directed
+/// (the hub is the high-in-degree vertex).
+Graph star(VertexId n, bool directed = true);
+Graph complete(VertexId n, bool directed = true);
+
+/// The 6-vertex example graph from the paper's Figure 3 (in-degrees
+/// 1,2,2,2,4,3 for vertices 0..5).
+Graph figure3_example();
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to
+/// `attach` existing vertices chosen proportional to degree. Undirected,
+/// power-law-ish with minimum degree `attach`.
+Graph preferential_attachment(VertexId n, VertexId attach,
+                              std::uint64_t seed);
+
+}  // namespace vebo::gen

@@ -1,0 +1,60 @@
+#include "graph/degree.hpp"
+
+#include <algorithm>
+
+namespace vebo {
+
+std::vector<EdgeId> in_degrees(const Graph& g) {
+  std::vector<EdgeId> d(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) d[v] = g.in_degree(v);
+  return d;
+}
+
+std::vector<EdgeId> out_degrees(const Graph& g) {
+  std::vector<EdgeId> d(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) d[v] = g.out_degree(v);
+  return d;
+}
+
+Histogram in_degree_histogram(const Graph& g) {
+  Histogram h;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) h.add(g.in_degree(v));
+  return h;
+}
+
+GraphProfile profile(const Graph& g) {
+  GraphProfile p;
+  p.vertices = g.num_vertices();
+  p.edges = g.num_edges();
+  p.max_in_degree = g.max_in_degree();
+  p.max_out_degree = g.max_out_degree();
+  const double n = std::max<double>(1.0, g.num_vertices());
+  p.pct_zero_in = 100.0 * g.count_zero_in_degree() / n;
+  p.pct_zero_out = 100.0 * g.count_zero_out_degree() / n;
+  p.powerlaw_alpha = in_degree_histogram(g).powerlaw_exponent(1);
+  p.directed = g.directed();
+  return p;
+}
+
+std::vector<VertexId> vertices_by_decreasing_degree(
+    const std::vector<EdgeId>& degree) {
+  const std::size_t n = degree.size();
+  EdgeId maxd = 0;
+  for (EdgeId d : degree) maxd = std::max(maxd, d);
+  // Counting sort, descending by degree, ascending by vertex id within a
+  // degree class (stability keeps runs of consecutive original ids
+  // together, which the blocked VEBO variant exploits).
+  std::vector<std::size_t> count(maxd + 2, 0);
+  for (EdgeId d : degree) ++count[maxd - d + 1];
+  for (std::size_t i = 1; i < count.size(); ++i) count[i] += count[i - 1];
+  std::vector<VertexId> order(n);
+  for (std::size_t v = 0; v < n; ++v)
+    order[count[maxd - degree[v]]++] = static_cast<VertexId>(v);
+  return order;
+}
+
+std::vector<VertexId> vertices_by_decreasing_in_degree(const Graph& g) {
+  return vertices_by_decreasing_degree(in_degrees(g));
+}
+
+}  // namespace vebo

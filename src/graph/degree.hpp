@@ -1,0 +1,43 @@
+// Degree statistics: the inputs to VEBO (in-degree sequence) and the
+// graph-characterization columns of the paper's Table I.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "support/histogram.hpp"
+
+namespace vebo {
+
+/// In-degree of every vertex.
+std::vector<EdgeId> in_degrees(const Graph& g);
+/// Out-degree of every vertex.
+std::vector<EdgeId> out_degrees(const Graph& g);
+
+/// Histogram of the in-degree distribution.
+Histogram in_degree_histogram(const Graph& g);
+
+/// Table I style characterization of a graph.
+struct GraphProfile {
+  VertexId vertices = 0;
+  EdgeId edges = 0;
+  EdgeId max_in_degree = 0;
+  EdgeId max_out_degree = 0;
+  double pct_zero_in = 0.0;   ///< % vertices with zero in-degree
+  double pct_zero_out = 0.0;  ///< % vertices with zero out-degree
+  double powerlaw_alpha = 0.0;  ///< estimated exponent of p(k) ~ k^-alpha
+  bool directed = true;
+};
+
+GraphProfile profile(const Graph& g);
+
+/// Vertices sorted by decreasing in-degree, stable on the original id
+/// (the processing order of VEBO Algorithm 2, line 4). Runs in O(n + D)
+/// via counting sort where D is the max degree.
+std::vector<VertexId> vertices_by_decreasing_in_degree(const Graph& g);
+
+/// Same but for an explicit degree array.
+std::vector<VertexId> vertices_by_decreasing_degree(
+    const std::vector<EdgeId>& degree);
+
+}  // namespace vebo

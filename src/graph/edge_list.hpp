@@ -1,0 +1,55 @@
+// COO (coordinate format) edge list: the canonical ingestion and
+// interchange representation. Generators produce EdgeLists, CSR/CSC are
+// built from them, and the GraphGrind-style dense traversal iterates a COO
+// directly in CSR or Hilbert edge order.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace vebo {
+
+class EdgeList {
+ public:
+  EdgeList() = default;
+  EdgeList(VertexId num_vertices, std::vector<Edge> edges,
+           bool directed = true);
+
+  VertexId num_vertices() const { return n_; }
+  EdgeId num_edges() const { return static_cast<EdgeId>(edges_.size()); }
+  bool directed() const { return directed_; }
+
+  std::span<const Edge> edges() const { return edges_; }
+  std::span<Edge> mutable_edges() { return edges_; }
+
+  void add(VertexId src, VertexId dst);
+
+  /// Ensures every referenced endpoint is < num_vertices; grows n if
+  /// grow==true, otherwise throws.
+  void validate(bool grow = false);
+
+  /// Removes self loops (u,u).
+  void remove_self_loops();
+
+  /// Removes duplicate edges (sorts as a side effect).
+  void remove_duplicates();
+
+  /// Adds the reverse of every edge, then dedupes. Marks undirected.
+  void symmetrize();
+
+  /// Sorts edges by (src, dst) — the "CSR order" of the paper's Sec. V-G.
+  void sort_by_source();
+  /// Sorts edges by (dst, src).
+  void sort_by_destination();
+
+  bool is_sorted_by_source() const;
+
+ private:
+  VertexId n_ = 0;
+  std::vector<Edge> edges_;
+  bool directed_ = true;
+};
+
+}  // namespace vebo

@@ -1,0 +1,54 @@
+#include "graph/graph.hpp"
+
+#include <sstream>
+
+namespace vebo {
+
+Graph Graph::from_edges(EdgeList el) {
+  Graph g;
+  el.sort_by_source();
+  g.n_ = el.num_vertices();
+  g.m_ = el.num_edges();
+  g.directed_ = el.directed();
+  g.out_ = Csr::build(el, /*by_destination=*/false);
+  g.in_ = Csr::build(el, /*by_destination=*/true);
+  g.coo_ = std::move(el);
+  return g;
+}
+
+EdgeId Graph::max_in_degree() const {
+  EdgeId best = 0;
+  for (VertexId v = 0; v < n_; ++v) best = std::max(best, in_degree(v));
+  return best;
+}
+
+EdgeId Graph::max_out_degree() const {
+  EdgeId best = 0;
+  for (VertexId v = 0; v < n_; ++v) best = std::max(best, out_degree(v));
+  return best;
+}
+
+VertexId Graph::count_zero_in_degree() const {
+  VertexId c = 0;
+  for (VertexId v = 0; v < n_; ++v)
+    if (in_degree(v) == 0) ++c;
+  return c;
+}
+
+VertexId Graph::count_zero_out_degree() const {
+  VertexId c = 0;
+  for (VertexId v = 0; v < n_; ++v)
+    if (out_degree(v) == 0) ++c;
+  return c;
+}
+
+std::string Graph::describe(const std::string& name) const {
+  std::ostringstream os;
+  if (!name.empty()) os << name << ": ";
+  os << "|V|=" << n_ << " |E|=" << m_
+     << (directed_ ? " directed" : " undirected")
+     << " max_in_deg=" << max_in_degree();
+  return os.str();
+}
+
+}  // namespace vebo

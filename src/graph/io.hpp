@@ -1,0 +1,35 @@
+// Graph I/O:
+//  * Ligra "AdjacencyGraph" text format (what the paper's artifact uses)
+//  * plain whitespace edge-list text ("src dst" per line, '#' comments,
+//    SNAP download format)
+//  * a compact binary format for fast reload in benchmarks
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace vebo::io {
+
+/// Writes the Ligra adjacency format:
+///   AdjacencyGraph\n n\n m\n  <n offsets>\n... <m targets>\n...
+void write_adjacency(std::ostream& os, const Graph& g);
+void write_adjacency_file(const std::string& path, const Graph& g);
+
+/// Reads the Ligra adjacency format. Throws vebo::Error on malformed input.
+Graph read_adjacency(std::istream& is, bool directed = true);
+Graph read_adjacency_file(const std::string& path, bool directed = true);
+
+/// Writes "src dst" per line.
+void write_edge_list(std::ostream& os, const Graph& g);
+
+/// Reads whitespace-separated "src dst" lines; '#'-prefixed lines are
+/// comments (SNAP style). Vertex count is 1 + max id unless `n` > 0.
+EdgeList read_edge_list(std::istream& is, VertexId n = 0);
+
+/// Binary format (magic, n, m, directed, offsets, targets of the out-CSR).
+void write_binary_file(const std::string& path, const Graph& g);
+Graph read_binary_file(const std::string& path);
+
+}  // namespace vebo::io

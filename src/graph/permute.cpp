@@ -1,0 +1,78 @@
+#include "graph/permute.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+#include "support/prng.hpp"
+
+namespace vebo {
+
+bool is_permutation(std::span<const VertexId> perm) {
+  std::vector<bool> seen(perm.size(), false);
+  for (VertexId p : perm) {
+    if (p >= perm.size() || seen[p]) return false;
+    seen[p] = true;
+  }
+  return true;
+}
+
+Permutation invert(std::span<const VertexId> perm) {
+  Permutation inv(perm.size(), kInvalidVertex);
+  for (std::size_t v = 0; v < perm.size(); ++v) {
+    VEBO_CHECK(perm[v] < perm.size(), "invert: value out of range");
+    VEBO_CHECK(inv[perm[v]] == kInvalidVertex, "invert: not a bijection");
+    inv[perm[v]] = static_cast<VertexId>(v);
+  }
+  return inv;
+}
+
+Permutation compose(std::span<const VertexId> outer,
+                    std::span<const VertexId> inner) {
+  VEBO_CHECK(outer.size() == inner.size(), "compose: size mismatch");
+  Permutation out(inner.size());
+  for (std::size_t v = 0; v < inner.size(); ++v) out[v] = outer[inner[v]];
+  return out;
+}
+
+Permutation identity_permutation(VertexId n) {
+  Permutation p(n);
+  for (VertexId v = 0; v < n; ++v) p[v] = v;
+  return p;
+}
+
+EdgeList permute(const EdgeList& el, std::span<const VertexId> perm) {
+  VEBO_CHECK(perm.size() == el.num_vertices(),
+             "permute: permutation size != vertex count");
+  std::vector<Edge> edges;
+  edges.reserve(el.num_edges());
+  for (const Edge& e : el.edges())
+    edges.push_back({perm[e.src], perm[e.dst]});
+  return EdgeList(el.num_vertices(), std::move(edges), el.directed());
+}
+
+Graph permute(const Graph& g, std::span<const VertexId> perm) {
+  return Graph::from_edges(permute(g.coo(), perm));
+}
+
+std::uint64_t structural_hash(const Graph& g) {
+  // Commutative hash over edges so it is independent of edge order.
+  std::uint64_t h = mix64(g.num_vertices());
+  for (const Edge& e : g.coo().edges()) {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(e.src) << 32) | e.dst;
+    h += mix64(key);
+  }
+  return h;
+}
+
+bool is_isomorphic_under(const Graph& g, const Graph& h,
+                         std::span<const VertexId> perm) {
+  if (g.num_vertices() != h.num_vertices()) return false;
+  if (g.num_edges() != h.num_edges()) return false;
+  if (!is_permutation(perm)) return false;
+  Graph relabelled = permute(g, perm);
+  // Compare CSRs: both builders sort rows, so equality is canonical.
+  return relabelled.out_csr() == h.out_csr();
+}
+
+}  // namespace vebo

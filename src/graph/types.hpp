@@ -1,0 +1,27 @@
+// Fundamental graph types shared across the library.
+#pragma once
+
+#include <cstdint>
+
+namespace vebo {
+
+/// Vertex identifier. 32 bits covers all graphs this build targets
+/// (the paper's largest graph, Friendster, has 125M vertices).
+using VertexId = std::uint32_t;
+
+/// Edge identifier / edge counts. 64 bits (Twitter has 1.47B edges).
+using EdgeId = std::uint64_t;
+
+/// A single directed edge (source -> destination).
+struct Edge {
+  VertexId src;
+  VertexId dst;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+/// Sentinel for "no vertex".
+inline constexpr VertexId kInvalidVertex = static_cast<VertexId>(-1);
+
+}  // namespace vebo

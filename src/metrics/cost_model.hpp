@@ -1,0 +1,43 @@
+// The paper's central empirical claim (Figure 1): the time to process a
+// partition is a function of its edge count AND its unique-destination
+// count (and, secondarily, its source count). This module measures
+// per-partition processing times with a real edge kernel and fits the
+// linear cost model t_p ≈ a·|E_p| + b·|Vdst_p| + c·|Vsrc_p| + d.
+#pragma once
+
+#include <vector>
+
+#include "framework/engine.hpp"
+#include "metrics/balance.hpp"
+
+namespace vebo::metrics {
+
+struct CostModel {
+  double per_edge = 0.0;
+  double per_dest = 0.0;
+  double per_source = 0.0;
+  double fixed = 0.0;
+  double r2 = 0.0;  ///< fit quality of the edges-only regression
+
+  double predict(double edges, double dests, double sources) const {
+    return per_edge * edges + per_dest * dests + per_source * sources +
+           fixed;
+  }
+};
+
+/// Fits the cost model from per-partition measured times and a partition
+/// profile (least squares).
+CostModel fit_cost_model(const PartitionProfile& profile,
+                         const std::vector<double>& times);
+
+/// Correlation of per-partition time against each structural feature
+/// (the three rows of Figure 1).
+struct FeatureCorrelations {
+  double edges = 0.0;
+  double dests = 0.0;
+  double sources = 0.0;
+};
+FeatureCorrelations time_feature_correlations(
+    const PartitionProfile& profile, const std::vector<double>& times);
+
+}  // namespace vebo::metrics

@@ -1,0 +1,71 @@
+#include "metrics/makespan.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+namespace vebo::metrics {
+
+double makespan_static(std::span<const double> part_times,
+                       std::size_t threads) {
+  if (part_times.empty() || threads == 0) return 0.0;
+  const std::size_t P = part_times.size();
+  // Thread t owns the contiguous partition block [t*P/T, (t+1)*P/T).
+  double worst = 0.0;
+  for (std::size_t t = 0; t < threads; ++t) {
+    const std::size_t lo = t * P / threads;
+    const std::size_t hi = (t + 1) * P / threads;
+    double sum = 0.0;
+    for (std::size_t p = lo; p < hi; ++p) sum += part_times[p];
+    worst = std::max(worst, sum);
+  }
+  return worst;
+}
+
+double makespan_dynamic(std::span<const double> part_times,
+                        std::size_t threads) {
+  if (part_times.empty() || threads == 0) return 0.0;
+  // Earliest-free-thread greedy: min-heap of thread finish times.
+  std::priority_queue<double, std::vector<double>, std::greater<>> finish;
+  for (std::size_t t = 0; t < threads; ++t) finish.push(0.0);
+  for (double t : part_times) {
+    const double f = finish.top();
+    finish.pop();
+    finish.push(f + t);
+  }
+  double last = 0.0;
+  while (!finish.empty()) {
+    last = finish.top();
+    finish.pop();
+  }
+  return last;
+}
+
+double makespan_hybrid(std::span<const double> part_times,
+                       std::size_t sockets, std::size_t threads_per_socket) {
+  if (part_times.empty() || sockets == 0 || threads_per_socket == 0)
+    return 0.0;
+  const std::size_t P = part_times.size();
+  double worst = 0.0;
+  for (std::size_t s = 0; s < sockets; ++s) {
+    const std::size_t lo = s * P / sockets;
+    const std::size_t hi = (s + 1) * P / sockets;
+    worst = std::max(
+        worst, makespan_dynamic(part_times.subspan(lo, hi - lo),
+                                threads_per_socket));
+  }
+  return worst;
+}
+
+double total_time(std::span<const double> part_times) {
+  double sum = 0.0;
+  for (double t : part_times) sum += t;
+  return sum;
+}
+
+double efficiency(double total, double makespan, std::size_t threads) {
+  if (makespan <= 0.0 || threads == 0) return 0.0;
+  return total / (static_cast<double>(threads) * makespan);
+}
+
+}  // namespace vebo::metrics

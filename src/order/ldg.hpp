@@ -1,0 +1,34 @@
+// LDG streaming partitioner (Stanton & Kliot, KDD'12), cited in the
+// paper's related work: vertices arrive in a stream and each is assigned
+// to the partition maximizing |neighbors already there| weighted by a
+// linear penalty on the partition's fill. Unlike VEBO/Algorithm 1 the
+// result is a general (non-contiguous) assignment; `ldg_order` converts
+// it into a relabelling so partitions become contiguous chunks, making it
+// directly comparable to the other orderings.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/permute.hpp"
+#include "order/partition.hpp"
+
+namespace vebo::order {
+
+struct LdgOptions {
+  /// Capacity slack: each partition holds at most slack * n/P vertices.
+  double slack = 1.1;
+};
+
+struct LdgResult {
+  std::vector<VertexId> assignment;  ///< vertex -> partition
+  Permutation perm;                  ///< relabelling (partition-contiguous)
+  Partitioning partitioning;         ///< chunks under the new labels
+  /// Fraction of edges whose endpoints land in different partitions
+  /// (LDG's optimization target; VEBO deliberately ignores it).
+  double edge_cut_fraction = 0.0;
+};
+
+LdgResult ldg(const Graph& g, VertexId P, const LdgOptions& opts = {});
+
+}  // namespace vebo::order

@@ -1,0 +1,58 @@
+// Algorithm 1 of the paper: locality-preserving edge-balanced partitioning
+// of the destination vertices. Each partition is a contiguous chunk of
+// vertex ids owning all in-edges of its vertices. This is the partitioner
+// used by Polymer/GraphGrind-style systems; VEBO reorders vertices so that
+// this partitioner produces optimally balanced partitions.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace vebo::order {
+
+/// A partitioning of the destination vertex set into contiguous chunks.
+struct Partitioning {
+  /// boundaries.size() == P+1; partition p owns destination vertices
+  /// [boundaries[p], boundaries[p+1]).
+  std::vector<VertexId> boundaries;
+
+  VertexId num_partitions() const {
+    return boundaries.empty() ? 0
+                              : static_cast<VertexId>(boundaries.size() - 1);
+  }
+  VertexId begin(VertexId p) const { return boundaries[p]; }
+  VertexId end(VertexId p) const { return boundaries[p + 1]; }
+  VertexId vertices_in(VertexId p) const { return end(p) - begin(p); }
+
+  /// Partition that owns destination v (binary search).
+  VertexId owner(VertexId v) const;
+};
+
+/// Algorithm 1: walk vertices in id order, close the current partition
+/// once it has accumulated >= |E|/P in-edges.
+Partitioning partition_by_destination(const Graph& g, VertexId P);
+
+/// Same but from an explicit in-degree array (used before the graph is
+/// materialized).
+Partitioning partition_by_degrees(const std::vector<EdgeId>& in_degree,
+                                  VertexId P);
+
+/// Builds a partitioning from explicit per-partition vertex counts (used
+/// by VEBO, whose phase 3 determines the chunk sizes directly).
+Partitioning partition_from_counts(const std::vector<VertexId>& counts);
+
+/// Per-partition in-edge counts under a partitioning.
+std::vector<EdgeId> edges_per_partition(const Graph& g,
+                                        const Partitioning& part);
+
+/// Per-partition count of destination vertices with at least one in-edge
+/// ("unique destinations" in the paper's Figure 1).
+std::vector<VertexId> destinations_per_partition(const Graph& g,
+                                                 const Partitioning& part);
+
+/// Per-partition count of distinct source vertices feeding the partition.
+std::vector<VertexId> sources_per_partition(const Graph& g,
+                                            const Partitioning& part);
+
+}  // namespace vebo::order

@@ -1,0 +1,20 @@
+// Reverse Cuthill–McKee ordering (George/Liu), the bandwidth-reduction
+// baseline of the paper's evaluation. Operates on the undirected view of
+// the graph (union of in- and out-adjacency).
+#pragma once
+
+#include "graph/graph.hpp"
+#include "graph/permute.hpp"
+
+namespace vebo::order {
+
+/// Returns the RCM permutation: new id = perm[old id]. Disconnected
+/// components are ordered one after another, each started from a
+/// pseudo-peripheral vertex of minimum degree.
+Permutation rcm(const Graph& g);
+
+/// Bandwidth of the graph under a labelling: max |label(u) - label(v)|
+/// over edges. RCM aims to reduce this.
+EdgeId bandwidth(const Graph& g, std::span<const VertexId> perm);
+
+}  // namespace vebo::order

@@ -1,0 +1,138 @@
+#include "order/slashburn.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "support/error.hpp"
+
+namespace vebo::order {
+
+namespace {
+
+/// Undirected degree of v restricted to `alive` vertices.
+std::size_t alive_degree(const Graph& g, const std::vector<bool>& alive,
+                         VertexId v) {
+  std::size_t d = 0;
+  for (VertexId u : g.out_neighbors(v))
+    if (alive[u] && u != v) ++d;
+  for (VertexId u : g.in_neighbors(v))
+    if (alive[u] && u != v) ++d;
+  return d;
+}
+
+/// Connected components of the alive subgraph (undirected view).
+/// Returns component id per vertex (kInvalidVertex for dead) and sizes.
+std::pair<std::vector<VertexId>, std::vector<VertexId>> components(
+    const Graph& g, const std::vector<bool>& alive) {
+  std::vector<VertexId> comp(g.num_vertices(), kInvalidVertex);
+  std::vector<VertexId> sizes;
+  for (VertexId seed = 0; seed < g.num_vertices(); ++seed) {
+    if (!alive[seed] || comp[seed] != kInvalidVertex) continue;
+    const VertexId id = static_cast<VertexId>(sizes.size());
+    VertexId size = 0;
+    std::queue<VertexId> q;
+    q.push(seed);
+    comp[seed] = id;
+    while (!q.empty()) {
+      const VertexId v = q.front();
+      q.pop();
+      ++size;
+      auto visit = [&](VertexId u) {
+        if (alive[u] && comp[u] == kInvalidVertex) {
+          comp[u] = id;
+          q.push(u);
+        }
+      };
+      for (VertexId u : g.out_neighbors(v)) visit(u);
+      for (VertexId u : g.in_neighbors(v)) visit(u);
+    }
+    sizes.push_back(size);
+  }
+  return {std::move(comp), std::move(sizes)};
+}
+
+}  // namespace
+
+Permutation slashburn(const Graph& g, const SlashBurnOptions& opts) {
+  const VertexId n = g.num_vertices();
+  VEBO_CHECK(opts.hub_fraction > 0.0 && opts.hub_fraction <= 0.5,
+             "slashburn: hub_fraction out of range");
+  const VertexId k = std::max<VertexId>(
+      1, static_cast<VertexId>(opts.hub_fraction * n));
+
+  std::vector<bool> alive(n, true);
+  std::vector<VertexId> front;  // hubs, in removal order
+  std::vector<VertexId> back;   // spokes, appended back-to-front
+  front.reserve(n);
+  back.reserve(n);
+
+  VertexId remaining = n;
+  while (remaining > 0) {
+    // 1. Slash: remove the k highest-degree alive vertices.
+    std::vector<VertexId> alive_ids;
+    alive_ids.reserve(remaining);
+    for (VertexId v = 0; v < n; ++v)
+      if (alive[v]) alive_ids.push_back(v);
+    std::partial_sort(
+        alive_ids.begin(),
+        alive_ids.begin() + std::min<std::size_t>(k, alive_ids.size()),
+        alive_ids.end(), [&](VertexId a, VertexId b) {
+          const auto da = alive_degree(g, alive, a);
+          const auto db = alive_degree(g, alive, b);
+          if (da != db) return da > db;
+          return a < b;
+        });
+    const std::size_t hubs = std::min<std::size_t>(k, alive_ids.size());
+    for (std::size_t i = 0; i < hubs; ++i) {
+      front.push_back(alive_ids[i]);
+      alive[alive_ids[i]] = false;
+      --remaining;
+    }
+    if (remaining == 0) break;
+
+    // 2. Burn: find components; all but the giant go to the back, ordered
+    // by increasing size (the original orders spokes by component size).
+    auto [comp, sizes] = components(g, alive);
+    if (sizes.empty()) break;
+    std::size_t giant = 0;
+    for (std::size_t c = 1; c < sizes.size(); ++c)
+      if (sizes[c] > sizes[giant]) giant = c;
+
+    std::vector<std::size_t> comp_order;
+    for (std::size_t c = 0; c < sizes.size(); ++c)
+      if (c != giant) comp_order.push_back(c);
+    std::sort(comp_order.begin(), comp_order.end(),
+              [&](std::size_t a, std::size_t b) {
+                if (sizes[a] != sizes[b]) return sizes[a] < sizes[b];
+                return a < b;
+              });
+    // Append non-giant components to `back` (they end up at the tail of
+    // the final order, smallest components last).
+    for (auto it = comp_order.rbegin(); it != comp_order.rend(); ++it) {
+      for (VertexId v = 0; v < n; ++v)
+        if (alive[v] && comp[v] == *it) {
+          back.push_back(v);
+          alive[v] = false;
+          --remaining;
+        }
+    }
+    // 3. Recurse on the giant component unless it is small enough.
+    if (sizes[giant] <= opts.min_component) {
+      for (VertexId v = 0; v < n; ++v)
+        if (alive[v]) {
+          front.push_back(v);
+          alive[v] = false;
+          --remaining;
+        }
+    }
+  }
+
+  VEBO_ASSERT(front.size() + back.size() == n);
+  Permutation perm(n);
+  VertexId pos = 0;
+  for (VertexId v : front) perm[v] = pos++;
+  for (auto it = back.rbegin(); it != back.rend(); ++it) perm[*it] = pos++;
+  return perm;
+}
+
+}  // namespace vebo::order

@@ -1,0 +1,26 @@
+// SlashBurn ordering (Lim, Kang, Faloutsos, TKDE'14), cited in the
+// paper's related work: repeatedly remove the k highest-degree hubs
+// (placing them at the front of the order), then order the resulting
+// connected components by size (placing the small-component vertices at
+// the back), and recurse on the giant component. Produces a
+// hub-and-spoke arrangement that concentrates the non-zero structure of
+// the adjacency matrix.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "graph/permute.hpp"
+
+namespace vebo::order {
+
+struct SlashBurnOptions {
+  /// Number of hubs removed per iteration as a fraction of n (the
+  /// original paper uses 0.5%-2%).
+  double hub_fraction = 0.01;
+  /// Stop recursing once the giant component is this small.
+  VertexId min_component = 64;
+};
+
+/// Returns the SlashBurn permutation: new id = perm[old id].
+Permutation slashburn(const Graph& g, const SlashBurnOptions& opts = {});
+
+}  // namespace vebo::order

@@ -1,0 +1,31 @@
+// Simple orderings used as baselines and controls in the paper:
+// identity (original ids), uniformly random permutation (Fig. 5), and
+// degree sort high-to-low (the comparison order of Fig. 6).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "graph/permute.hpp"
+
+namespace vebo::order {
+
+/// Original ids.
+Permutation original(const Graph& g);
+
+/// Uniformly random permutation (Fisher–Yates, seeded).
+Permutation random_order(VertexId n, std::uint64_t seed);
+
+/// New ids assigned in order of decreasing in-degree (ties: ascending
+/// original id). The "high-to-low" order of Section V-G.
+Permutation degree_sort_high_to_low(const Graph& g);
+
+/// New ids in BFS visit order from `source` (unreached components are
+/// appended in id order, each BFS'd). A classic cheap locality order.
+Permutation bfs_order(const Graph& g, VertexId source = 0);
+
+/// New ids in iterative DFS preorder; same component handling as
+/// bfs_order.
+Permutation dfs_order(const Graph& g, VertexId source = 0);
+
+}  // namespace vebo::order

@@ -1,0 +1,141 @@
+#include "order/vebo.hpp"
+
+#include <algorithm>
+
+#include "graph/degree.hpp"
+#include "support/error.hpp"
+#include "support/minheap.hpp"
+
+namespace vebo::order {
+
+EdgeId VeboResult::edge_imbalance() const {
+  if (part_edges.empty()) return 0;
+  const auto [lo, hi] =
+      std::minmax_element(part_edges.begin(), part_edges.end());
+  return *hi - *lo;
+}
+
+VertexId VeboResult::vertex_imbalance() const {
+  if (part_vertices.empty()) return 0;
+  const auto [lo, hi] =
+      std::minmax_element(part_vertices.begin(), part_vertices.end());
+  return *hi - *lo;
+}
+
+VeboResult vebo_from_degrees(const std::vector<EdgeId>& in_degree,
+                             VertexId P, const VeboOptions& opts) {
+  VEBO_CHECK(P >= 1, "vebo: P must be >= 1");
+  const VertexId n = static_cast<VertexId>(in_degree.size());
+  VEBO_CHECK(n > 0, "vebo: empty graph");
+
+  // Line 4: vertices sorted by decreasing in-degree. The counting sort is
+  // stable on vertex id, so same-degree vertices appear in ascending
+  // original-id order — the property the blocked variant relies on.
+  const std::vector<VertexId> sorted = vertices_by_decreasing_degree(in_degree);
+
+  // m = number of vertices with non-zero degree; they form the prefix of
+  // `sorted`.
+  VertexId m = n;
+  while (m > 0 && in_degree[sorted[m - 1]] == 0) --m;
+
+  std::vector<VertexId> assign(n, 0);  // a[v]
+  std::vector<EdgeId> w(P, 0);         // edge count per partition
+  std::vector<VertexId> u(P, 0);       // vertex count per partition
+
+  // Phase 1: non-zero-degree vertices by decreasing degree onto the
+  // partition with minimum edge weight (ties -> lowest partition id).
+  {
+    IndexedMinHeap<4> heap(P);
+    for (VertexId t = 0; t < m; ++t) {
+      const VertexId v = sorted[t];
+      const auto p = heap.top();
+      assign[v] = static_cast<VertexId>(p);
+      heap.increase(p, in_degree[v]);
+      w[p] += in_degree[v];
+      ++u[p];
+    }
+  }
+
+  // Phase 2: zero-degree vertices onto the partition with minimum vertex
+  // count.
+  {
+    IndexedMinHeap<4> heap(P);
+    for (VertexId p = 0; p < P; ++p) heap.update(p, u[p]);
+    for (VertexId t = m; t < n; ++t) {
+      const VertexId v = sorted[t];
+      const auto p = heap.top();
+      assign[v] = static_cast<VertexId>(p);
+      heap.increase(p, 1);
+      ++u[p];
+    }
+  }
+
+  if (opts.blocked) {
+    // Locality-preserving adjustment: within each run of equal degree in
+    // the sorted order, the multiset of assigned partitions is kept but
+    // handed out in ascending partition order. Because the sort is stable,
+    // the run's vertices are in ascending original-id order, so blocks of
+    // consecutive original ids land on the same partition.
+    VertexId run_begin = 0;
+    std::vector<VertexId> labels;
+    while (run_begin < n) {
+      VertexId run_end = run_begin + 1;
+      const EdgeId d = in_degree[sorted[run_begin]];
+      while (run_end < n && in_degree[sorted[run_end]] == d) ++run_end;
+      labels.clear();
+      for (VertexId t = run_begin; t < run_end; ++t)
+        labels.push_back(assign[sorted[t]]);
+      std::sort(labels.begin(), labels.end());
+      for (VertexId t = run_begin; t < run_end; ++t)
+        assign[sorted[t]] = labels[t - run_begin];
+      run_begin = run_end;
+    }
+  }
+
+  // Phase 3: new sequence numbers; partition p occupies
+  // [sum u[0..p-1], sum u[0..p]). Scanning `sorted` in processing order
+  // gives decreasing degree within each partition.
+  VeboResult res;
+  res.part_vertices = u;
+  res.part_edges = w;
+  res.partitioning = partition_from_counts(u);
+  res.perm.assign(n, kInvalidVertex);
+  std::vector<VertexId> cursor(P);
+  for (VertexId p = 0; p < P; ++p) cursor[p] = res.partitioning.begin(p);
+  for (VertexId t = 0; t < n; ++t) {
+    const VertexId v = sorted[t];
+    res.perm[v] = cursor[assign[v]]++;
+  }
+  return res;
+}
+
+VeboResult vebo(const Graph& g, VertexId P, const VeboOptions& opts) {
+  return vebo_from_degrees(in_degrees(g), P, opts);
+}
+
+Graph vebo_reorder(const Graph& g, VertexId P, const VeboOptions& opts) {
+  return permute(g, vebo(g, P, opts).perm);
+}
+
+std::vector<PlacementStep> vebo_placement_trace(
+    const std::vector<EdgeId>& in_degree, VertexId P) {
+  VEBO_CHECK(P >= 1, "vebo_placement_trace: P must be >= 1");
+  const std::vector<VertexId> sorted =
+      vertices_by_decreasing_degree(in_degree);
+  std::vector<EdgeId> w(P, 0);
+  IndexedMinHeap<4> heap(P);
+  std::vector<PlacementStep> trace;
+  trace.reserve(sorted.size());
+  for (VertexId v : sorted) {
+    const EdgeId d = in_degree[v];
+    if (d == 0) break;  // phase 1 covers non-zero degrees only
+    const auto p = heap.top();
+    heap.increase(p, d);
+    w[p] += d;
+    const auto [lo, hi] = std::minmax_element(w.begin(), w.end());
+    trace.push_back({d, *hi - *lo, *hi});
+  }
+  return trace;
+}
+
+}  // namespace vebo::order

@@ -1,0 +1,128 @@
+#include "parallel/parallel_for.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace vebo::detail {
+
+void parallel_for_impl(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& range_fn,
+    const ForOptions& opts) {
+  if (end <= begin) return;
+  const std::size_t n = end - begin;
+  ThreadPool& pool = opts.pool ? *opts.pool : ThreadPool::global();
+  const std::size_t nthreads = pool.num_threads();
+
+  if (n <= opts.serial_cutoff || nthreads == 1) {
+    range_fn(0, begin, end);
+    return;
+  }
+
+  switch (opts.schedule) {
+    case Schedule::Static: {
+      // Contiguous blocks of near-equal iteration count, one per worker.
+      // Matches Polymer: the assignment is fixed regardless of cost.
+      pool.run_on_all([&](std::size_t worker) {
+        const std::size_t per = n / nthreads;
+        const std::size_t extra = n % nthreads;
+        const std::size_t lo =
+            begin + worker * per + std::min(worker, extra);
+        const std::size_t hi = lo + per + (worker < extra ? 1 : 0);
+        if (lo < hi) range_fn(worker, lo, hi);
+      });
+      break;
+    }
+    case Schedule::Dynamic: {
+      // Chunk self-scheduling from a shared counter: a free worker takes
+      // the next chunk, which is the load-balancing property of Cilk's
+      // recursive splitting that the paper attributes Ligra's tolerance
+      // of imbalance to.
+      const std::size_t grain = std::max<std::size_t>(1, opts.grain);
+      std::atomic<std::size_t> next{begin};
+      pool.run_on_all([&](std::size_t worker) {
+        for (;;) {
+          const std::size_t lo =
+              next.fetch_add(grain, std::memory_order_relaxed);
+          if (lo >= end) break;
+          const std::size_t hi = std::min(lo + grain, end);
+          range_fn(worker, lo, hi);
+        }
+      });
+      break;
+    }
+    case Schedule::Guided: {
+      // Chunk size proportional to remaining work / threads, floored at
+      // `grain`; fewer scheduling events than Dynamic for skewed loops.
+      const std::size_t min_grain = std::max<std::size_t>(1, opts.grain);
+      std::atomic<std::size_t> next{begin};
+      pool.run_on_all([&](std::size_t worker) {
+        for (;;) {
+          std::size_t lo = next.load(std::memory_order_relaxed);
+          std::size_t chunk, hi;
+          do {
+            if (lo >= end) return;
+            chunk = std::max(min_grain, (end - lo) / (2 * nthreads));
+            hi = std::min(lo + chunk, end);
+          } while (!next.compare_exchange_weak(lo, hi,
+                                               std::memory_order_relaxed));
+          range_fn(worker, lo, hi);
+        }
+      });
+      break;
+    }
+  }
+}
+
+}  // namespace vebo::detail
+
+namespace vebo {
+
+std::uint64_t exclusive_scan(const std::uint64_t* in, std::uint64_t* out,
+                             std::size_t n, const ForOptions& opts) {
+  if (n == 0) return 0;
+  ThreadPool& pool = opts.pool ? *opts.pool : ThreadPool::global();
+  const std::size_t nthreads = pool.num_threads();
+  if (n < 1u << 14 || nthreads == 1) {
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t v = in[i];
+      out[i] = acc;
+      acc += v;
+    }
+    return acc;
+  }
+  // Two-pass block scan.
+  const std::size_t blocks = nthreads;
+  std::vector<std::uint64_t> block_sum(blocks, 0);
+  auto block_range = [&](std::size_t b) {
+    const std::size_t per = n / blocks, extra = n % blocks;
+    const std::size_t lo = b * per + std::min(b, extra);
+    const std::size_t hi = lo + per + (b < extra ? 1 : 0);
+    return std::pair<std::size_t, std::size_t>(lo, hi);
+  };
+  pool.run_on_all([&](std::size_t b) {
+    auto [lo, hi] = block_range(b);
+    std::uint64_t s = 0;
+    for (std::size_t i = lo; i < hi; ++i) s += in[i];
+    block_sum[b] = s;
+  });
+  std::vector<std::uint64_t> block_off(blocks, 0);
+  std::uint64_t total = 0;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    block_off[b] = total;
+    total += block_sum[b];
+  }
+  pool.run_on_all([&](std::size_t b) {
+    auto [lo, hi] = block_range(b);
+    std::uint64_t acc = block_off[b];
+    for (std::size_t i = lo; i < hi; ++i) {
+      const std::uint64_t v = in[i];
+      out[i] = acc;
+      acc += v;
+    }
+  });
+  return total;
+}
+
+}  // namespace vebo

@@ -1,0 +1,97 @@
+// Parallel loops with explicit scheduling policy.
+//
+// The paper's central systems distinction is *how* parallel loop iterations
+// are scheduled:
+//  * Schedule::Dynamic — Cilk-style self-scheduling (Ligra): load imbalance
+//    between chunks is absorbed by whichever worker is free.
+//  * Schedule::Static  — block scheduling (Polymer, GraphGrind outer loop):
+//    iteration ranges are fixed up front, so the loop takes as long as its
+//    slowest block (the makespan).
+// Both run on the shared ThreadPool.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace vebo {
+
+enum class Schedule {
+  Static,   ///< contiguous blocks, one per worker
+  Dynamic,  ///< fixed-size chunks claimed from an atomic counter
+  Guided,   ///< geometrically shrinking chunks
+};
+
+struct ForOptions {
+  Schedule schedule = Schedule::Dynamic;
+  std::size_t grain = 1024;          ///< chunk size for Dynamic
+  std::size_t serial_cutoff = 2048;  ///< run serially below this many iters
+  ThreadPool* pool = nullptr;        ///< nullptr = ThreadPool::global()
+};
+
+namespace detail {
+/// Invokes range_fn(worker_id, lo, hi) over disjoint subranges of
+/// [begin, end) according to the schedule in `opts`.
+void parallel_for_impl(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& range_fn,
+    const ForOptions& opts);
+}  // namespace detail
+
+/// Applies `fn(i)` for i in [begin, end) in parallel.
+template <typename Fn>
+void parallel_for(std::size_t begin, std::size_t end, Fn&& fn,
+                  const ForOptions& opts = {}) {
+  detail::parallel_for_impl(
+      begin, end,
+      [&fn](std::size_t, std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) fn(i);
+      },
+      opts);
+}
+
+/// Applies `fn(lo, hi)` over disjoint chunks covering [begin, end).
+/// Useful when the body wants to amortize per-chunk setup.
+template <typename Fn>
+void parallel_for_range(std::size_t begin, std::size_t end, Fn&& fn,
+                        const ForOptions& opts = {}) {
+  detail::parallel_for_impl(
+      begin, end,
+      [&fn](std::size_t, std::size_t lo, std::size_t hi) { fn(lo, hi); },
+      opts);
+}
+
+/// Parallel reduction: folds `fn(i)` over [begin, end) with `combine`.
+/// `init` must be the identity of `combine`.
+template <typename T, typename Fn, typename Combine>
+T parallel_reduce(std::size_t begin, std::size_t end, T init, Fn&& fn,
+                  Combine&& combine, const ForOptions& opts = {}) {
+  ThreadPool& pool = opts.pool ? *opts.pool : ThreadPool::global();
+  ForOptions o = opts;
+  o.pool = &pool;
+  // Pad slots to distinct cache lines to avoid false sharing.
+  struct alignas(64) Slot {
+    T value;
+  };
+  std::vector<Slot> partial(pool.num_threads(), Slot{init});
+  detail::parallel_for_impl(
+      begin, end,
+      [&](std::size_t worker, std::size_t lo, std::size_t hi) {
+        T acc = partial[worker].value;
+        for (std::size_t i = lo; i < hi; ++i) acc = combine(acc, fn(i));
+        partial[worker].value = acc;
+      },
+      o);
+  T total = init;
+  for (const auto& s : partial) total = combine(total, s.value);
+  return total;
+}
+
+/// Exclusive prefix sum of `in` into `out` (sizes equal); returns total.
+std::uint64_t exclusive_scan(const std::uint64_t* in, std::uint64_t* out,
+                             std::size_t n, const ForOptions& opts = {});
+
+}  // namespace vebo

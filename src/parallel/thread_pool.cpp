@@ -1,0 +1,90 @@
+#include "parallel/thread_pool.hpp"
+
+#include <cstdlib>
+
+namespace vebo {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  // Worker 0 is the calling thread; spawn threads-1 helpers.
+  workers_.reserve(threads - 1);
+  for (std::size_t i = 1; i < threads; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::run_on_all(const std::function<void(std::size_t)>& fn) {
+  if (workers_.empty()) {
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    job_ = &fn;
+    ++generation_;
+    pending_ = workers_.size();
+    first_exception_ = nullptr;
+  }
+  cv_start_.notify_all();
+  // The caller acts as worker 0.
+  try {
+    fn(0);
+  } catch (...) {
+    std::lock_guard<std::mutex> lk(mutex_);
+    if (!first_exception_) first_exception_ = std::current_exception();
+  }
+  std::unique_lock<std::mutex> lk(mutex_);
+  cv_done_.wait(lk, [this] { return pending_ == 0; });
+  job_ = nullptr;
+  if (first_exception_) std::rethrow_exception(first_exception_);
+}
+
+void ThreadPool::worker_loop(std::size_t id) {
+  std::size_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(mutex_);
+      cv_start_.wait(lk, [&] {
+        return stop_ || (job_ != nullptr && generation_ != seen_generation);
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      job = job_;
+    }
+    try {
+      (*job)(id);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(mutex_);
+      if (!first_exception_) first_exception_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      if (--pending_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("VEBO_THREADS")) {
+      const long v = std::atol(env);
+      if (v > 0) return static_cast<std::size_t>(v);
+    }
+    return std::size_t{0};
+  }());
+  return pool;
+}
+
+}  // namespace vebo

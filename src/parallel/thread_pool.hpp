@@ -1,0 +1,56 @@
+// Persistent worker-thread pool.
+//
+// This is the substrate standing in for the paper's two runtimes:
+//  * Cilk (Ligra)          -> dynamic chunk self-scheduling on this pool
+//  * pthreads (Polymer)    -> static block scheduling on this pool
+// The pool keeps threads alive across parallel regions so per-region cost
+// is a wake/notify, not thread creation.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vebo {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `threads` workers (0 = hardware concurrency).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return workers_.size() + 1; }
+
+  /// Runs `fn(worker_id)` once on every worker (ids 0..num_threads-1,
+  /// id 0 executes on the calling thread) and blocks until all complete.
+  /// Exceptions thrown by workers are rethrown on the caller (first one).
+  void run_on_all(const std::function<void(std::size_t)>& fn);
+
+  /// Process-wide default pool, sized by VEBO_THREADS env var or hardware
+  /// concurrency. Safe to use from main thread only (no nesting).
+  static ThreadPool& global();
+
+  /// Number of threads the global pool uses (for reporting).
+  static std::size_t global_threads() { return global().num_threads(); }
+
+ private:
+  void worker_loop(std::size_t id);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t generation_ = 0;
+  std::size_t pending_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_exception_;
+};
+
+}  // namespace vebo

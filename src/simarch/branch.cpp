@@ -1,0 +1,29 @@
+#include "simarch/branch.hpp"
+
+#include "support/error.hpp"
+
+namespace vebo::simarch {
+
+BranchSim::BranchSim(int table_bits, int history_bits) {
+  VEBO_CHECK(table_bits >= 4 && table_bits <= 24, "table_bits out of range");
+  VEBO_CHECK(history_bits >= 0 && history_bits <= table_bits,
+             "history_bits out of range");
+  table_.assign(std::size_t{1} << table_bits, 1);  // weakly not-taken
+  table_mask_ = (std::uint64_t{1} << table_bits) - 1;
+  history_mask_ = (std::uint64_t{1} << history_bits) - 1;
+}
+
+bool BranchSim::branch(std::uint64_t pc, bool taken) {
+  ++branches_;
+  const std::uint64_t idx = (pc ^ history_) & table_mask_;
+  std::uint8_t& counter = table_[idx];
+  const bool predicted_taken = counter >= 2;
+  const bool correct = predicted_taken == taken;
+  if (!correct) ++mispredictions_;
+  if (taken && counter < 3) ++counter;
+  if (!taken && counter > 0) --counter;
+  history_ = ((history_ << 1) | (taken ? 1 : 0)) & history_mask_;
+  return correct;
+}
+
+}  // namespace vebo::simarch

@@ -1,0 +1,62 @@
+#include "simarch/cache.hpp"
+
+#include "support/error.hpp"
+
+namespace vebo::simarch {
+
+namespace {
+int log2_exact(std::size_t v) {
+  int s = 0;
+  while ((std::size_t{1} << s) < v) ++s;
+  VEBO_CHECK((std::size_t{1} << s) == v, "value must be a power of two");
+  return s;
+}
+}  // namespace
+
+CacheSim::CacheSim(std::size_t size_bytes, std::size_t line_bytes,
+                   std::size_t ways)
+    : sets_(size_bytes / line_bytes / ways),
+      ways_(ways),
+      line_shift_(log2_exact(line_bytes)) {
+  VEBO_CHECK(sets_ >= 1, "cache too small for its associativity");
+  VEBO_CHECK(size_bytes == sets_ * ways_ * line_bytes,
+             "cache size must be sets*ways*line");
+  tags_.assign(sets_ * ways_, 0);
+  lru_.assign(sets_ * ways_, 0);
+  valid_.assign(sets_ * ways_, false);
+}
+
+bool CacheSim::access(std::uint64_t address) {
+  ++accesses_;
+  ++clock_;
+  const std::uint64_t line = address >> line_shift_;
+  const std::size_t set = static_cast<std::size_t>(line % sets_);
+  const std::size_t base = set * ways_;
+  // Hit?
+  for (std::size_t w = 0; w < ways_; ++w) {
+    if (valid_[base + w] && tags_[base + w] == line) {
+      lru_[base + w] = clock_;
+      return true;
+    }
+  }
+  ++misses_;
+  // Fill: invalid way first, else LRU.
+  std::size_t victim = 0;
+  std::uint64_t oldest = ~std::uint64_t{0};
+  for (std::size_t w = 0; w < ways_; ++w) {
+    if (!valid_[base + w]) {
+      victim = w;
+      break;
+    }
+    if (lru_[base + w] < oldest) {
+      oldest = lru_[base + w];
+      victim = w;
+    }
+  }
+  valid_[base + victim] = true;
+  tags_[base + victim] = line;
+  lru_[base + victim] = clock_;
+  return false;
+}
+
+}  // namespace vebo::simarch

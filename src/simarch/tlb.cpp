@@ -1,0 +1,34 @@
+#include "simarch/tlb.hpp"
+
+#include "support/error.hpp"
+
+namespace vebo::simarch {
+
+TlbSim::TlbSim(std::size_t entries, std::size_t page_bytes)
+    : entries_(entries) {
+  VEBO_CHECK(entries_ >= 1, "TLB needs at least one entry");
+  page_shift_ = 0;
+  while ((std::size_t{1} << page_shift_) < page_bytes) ++page_shift_;
+  VEBO_CHECK((std::size_t{1} << page_shift_) == page_bytes,
+             "page size must be a power of two");
+}
+
+bool TlbSim::access(std::uint64_t address) {
+  ++accesses_;
+  const std::uint64_t page = address >> page_shift_;
+  const auto it = map_.find(page);
+  if (it != map_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return true;
+  }
+  ++misses_;
+  if (map_.size() >= entries_) {
+    map_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  lru_.push_front(page);
+  map_[page] = lru_.begin();
+  return false;
+}
+
+}  // namespace vebo::simarch

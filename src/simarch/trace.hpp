@@ -1,0 +1,70 @@
+// Trace-driven simulation of the edgemap and vertexmap kernels on a
+// modeled multi-socket machine.
+//
+// Machine model (matching the paper's testbed shape): `sockets` NUMA
+// nodes x `threads_per_socket` threads. Partitions are bound to threads
+// in contiguous blocks (thread t runs partitions [t*P/T, (t+1)*P/T), the
+// paper's "thread t executes partitions 8t..8t+7"). Vertex data is
+// distributed NUMA-style: the home socket of vertex v is the socket of
+// the partition owning v. Each simulated thread has a private cache, TLB
+// and branch predictor; a miss on data homed on another socket counts as
+// a *remote* miss.
+//
+// The simulated kernels replay the real access streams:
+//  * edgemap: per destination v in the thread's partitions, stream the
+//    CSC row (sequential index loads), load src data per in-edge, store
+//    the destination accumulator; the inner-loop back-edge is the
+//    simulated branch.
+//  * vertexmap: iterations are split equally over threads by vertex id
+//    (GraphGrind's vertexmap), touching one data word per vertex.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "order/partition.hpp"
+
+namespace vebo::simarch {
+
+struct MachineConfig {
+  std::size_t sockets = 4;
+  std::size_t threads_per_socket = 12;
+  std::size_t cache_bytes = 1u << 20;   ///< per-thread LLC slice (1 MiB)
+  std::size_t cache_line = 64;
+  std::size_t cache_ways = 16;
+  std::size_t tlb_entries = 64;
+  std::size_t page_bytes = 4096;
+
+  std::size_t threads() const { return sockets * threads_per_socket; }
+};
+
+/// Per-thread simulated counters, reported as events per 1000 simulated
+/// operations (the paper's MPKI convention with instructions ~ ops).
+struct ThreadStats {
+  double local_mpki = 0.0;
+  double remote_mpki = 0.0;
+  double tlb_mpki = 0.0;
+  double branch_mpki = 0.0;
+  std::uint64_t ops = 0;
+};
+
+struct ArchReport {
+  std::vector<ThreadStats> per_thread;
+
+  double mean_local() const;
+  double mean_remote() const;
+  double mean_tlb() const;
+  double mean_branch() const;
+};
+
+/// Simulates one pull-mode edgemap sweep (all destinations active).
+ArchReport simulate_edgemap(const Graph& g, const order::Partitioning& part,
+                            const MachineConfig& cfg = {});
+
+/// Simulates one vertexmap sweep over all vertices.
+ArchReport simulate_vertexmap(const Graph& g,
+                              const order::Partitioning& part,
+                              const MachineConfig& cfg = {});
+
+}  // namespace vebo::simarch

@@ -1,0 +1,92 @@
+// Dynamic bitsets: a plain one and one with atomic set semantics.
+//
+// The Ligra-style dense frontier representation is a bitset over vertices;
+// the atomic variant is what the pull-direction edgemap writes into from
+// multiple threads.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vebo {
+
+/// Plain dynamic bitset with population count.
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+  explicit DynamicBitset(std::size_t n, bool value = false)
+      : n_(n), words_((n + 63) / 64, value ? ~0ULL : 0ULL) {
+    trim();
+  }
+
+  std::size_t size() const { return n_; }
+
+  bool get(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+  void set(std::size_t i) { words_[i >> 6] |= (1ULL << (i & 63)); }
+  void clear(std::size_t i) { words_[i >> 6] &= ~(1ULL << (i & 63)); }
+
+  void reset() { std::fill(words_.begin(), words_.end(), 0ULL); }
+
+  std::size_t count() const {
+    std::size_t c = 0;
+    for (auto w : words_) c += static_cast<std::size_t>(__builtin_popcountll(w));
+    return c;
+  }
+
+  const std::vector<std::uint64_t>& words() const { return words_; }
+
+ private:
+  void trim() {
+    if (n_ % 64 != 0 && !words_.empty())
+      words_.back() &= (1ULL << (n_ % 64)) - 1;
+  }
+  std::size_t n_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Bitset whose set() is atomic and reports whether the bit flipped.
+/// Used for "claim a destination vertex exactly once" in pull traversal.
+class AtomicBitset {
+ public:
+  AtomicBitset() = default;
+  explicit AtomicBitset(std::size_t n)
+      : n_(n), words_((n + 63) / 64) {
+    for (auto& w : words_) w.store(0, std::memory_order_relaxed);
+  }
+
+  std::size_t size() const { return n_; }
+
+  bool get(std::size_t i) const {
+    return (words_[i >> 6].load(std::memory_order_relaxed) >> (i & 63)) & 1ULL;
+  }
+
+  /// Atomically sets bit i; returns true iff this call flipped it 0 -> 1.
+  bool set(std::size_t i) {
+    const std::uint64_t mask = 1ULL << (i & 63);
+    const std::uint64_t old =
+        words_[i >> 6].fetch_or(mask, std::memory_order_relaxed);
+    return (old & mask) == 0;
+  }
+
+  void reset() {
+    for (auto& w : words_) w.store(0, std::memory_order_relaxed);
+  }
+
+  std::size_t count() const {
+    std::size_t c = 0;
+    for (const auto& w : words_)
+      c += static_cast<std::size_t>(
+          __builtin_popcountll(w.load(std::memory_order_relaxed)));
+    return c;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<std::atomic<std::uint64_t>> words_;
+};
+
+}  // namespace vebo

@@ -1,0 +1,49 @@
+// Error-handling primitives shared by the whole library.
+//
+// The library throws `vebo::Error` for recoverable misuse (bad arguments,
+// malformed input files) and uses VEBO_ASSERT for internal invariants that
+// indicate a bug when violated.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace vebo {
+
+/// Exception type thrown on invalid arguments or malformed inputs.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_error(const char* file, int line,
+                                     const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+/// Throw vebo::Error with file/line context when `cond` is false.
+#define VEBO_CHECK(cond, msg)                                     \
+  do {                                                            \
+    if (!(cond)) {                                                \
+      ::vebo::detail::throw_error(__FILE__, __LINE__,             \
+                                  std::string("check failed: ") + \
+                                      #cond + " — " + (msg));     \
+    }                                                             \
+  } while (0)
+
+/// Internal invariant; compiled in all build types (cheap checks only).
+#define VEBO_ASSERT(cond)                                            \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      ::vebo::detail::throw_error(__FILE__, __LINE__,                \
+                                  std::string("assertion failed: ") \
+                                      + #cond);                      \
+    }                                                                \
+  } while (0)
+
+}  // namespace vebo

@@ -1,0 +1,80 @@
+#include "support/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/stats.hpp"
+
+namespace vebo {
+
+Histogram::Histogram(std::span<const std::uint64_t> values) {
+  for (auto v : values) add(v);
+}
+
+void Histogram::add(std::uint64_t value, std::uint64_t count) {
+  if (value >= bins_.size()) bins_.resize(value + 1, 0);
+  bins_[value] += count;
+  total_ += count;
+}
+
+std::uint64_t Histogram::count(std::uint64_t value) const {
+  return value < bins_.size() ? bins_[value] : 0;
+}
+
+std::uint64_t Histogram::max_value() const {
+  for (std::size_t i = bins_.size(); i-- > 0;)
+    if (bins_[i] != 0) return i;
+  return 0;
+}
+
+std::size_t Histogram::distinct() const {
+  std::size_t d = 0;
+  for (auto b : bins_)
+    if (b != 0) ++d;
+  return d;
+}
+
+double Histogram::fraction(std::uint64_t value) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(value)) / static_cast<double>(total_);
+}
+
+double Histogram::powerlaw_exponent(std::uint64_t min_value) const {
+  std::vector<double> lx, ly;
+  for (std::size_t v = std::max<std::uint64_t>(min_value, 1);
+       v < bins_.size(); ++v) {
+    if (bins_[v] == 0) continue;
+    lx.push_back(std::log(static_cast<double>(v)));
+    ly.push_back(std::log(static_cast<double>(bins_[v])));
+  }
+  if (lx.size() < 2) return 0.0;
+  return -linear_fit(lx, ly).slope;
+}
+
+std::string Histogram::render(std::size_t max_rows) const {
+  // Show the most frequent values, one row each, with a proportional bar.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> rows;  // (count, value)
+  for (std::size_t v = 0; v < bins_.size(); ++v)
+    if (bins_[v] != 0) rows.emplace_back(bins_[v], v);
+  std::sort(rows.rbegin(), rows.rend());
+  if (rows.size() > max_rows) rows.resize(max_rows);
+  const std::uint64_t top = rows.empty() ? 1 : rows.front().first;
+  std::ostringstream os;
+  for (const auto& [cnt, val] : rows) {
+    const int width = static_cast<int>(40.0 * static_cast<double>(cnt) /
+                                       static_cast<double>(top));
+    os << "  " << val << "\t" << cnt << "\t" << std::string(width, '#')
+       << "\n";
+  }
+  return os.str();
+}
+
+double generalized_harmonic(std::size_t N, double s) {
+  double h = 0.0;
+  for (std::size_t i = 1; i <= N; ++i)
+    h += std::pow(static_cast<double>(i), -s);
+  return h;
+}
+
+}  // namespace vebo

@@ -1,0 +1,53 @@
+// Integer-valued histograms, used for degree distributions and for
+// estimating the Zipf/power-law exponent of a graph (the quantity `s` in
+// the paper's Section III).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace vebo {
+
+/// Frequency table over non-negative integer values.
+class Histogram {
+ public:
+  Histogram() = default;
+
+  /// Builds a histogram of the given values.
+  explicit Histogram(std::span<const std::uint64_t> values);
+
+  void add(std::uint64_t value, std::uint64_t count = 1);
+
+  std::uint64_t count(std::uint64_t value) const;
+  std::uint64_t total() const { return total_; }
+  /// Largest value with non-zero count (0 for an empty histogram).
+  std::uint64_t max_value() const;
+  /// Number of distinct values with non-zero count.
+  std::size_t distinct() const;
+
+  /// Fraction of samples equal to `value`.
+  double fraction(std::uint64_t value) const;
+
+  const std::vector<std::uint64_t>& bins() const { return bins_; }
+
+  /// Log-log least-squares estimate of the power-law exponent alpha for
+  /// the tail (value >= min_value): p(k) ~ k^-alpha. Returns 0 if there
+  /// are fewer than two usable points.
+  double powerlaw_exponent(std::uint64_t min_value = 1) const;
+
+  /// ASCII rendering (top `max_rows` most frequent values), for examples.
+  std::string render(std::size_t max_rows = 16) const;
+
+ private:
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t total_ = 0;
+};
+
+/// Generalized harmonic number H_{N,s} = sum_{i=1..N} i^-s
+/// (appears in the Zipf distribution, Eq. 1 of the paper).
+double generalized_harmonic(std::size_t N, double s);
+
+}  // namespace vebo

@@ -1,0 +1,133 @@
+// Indexed d-ary min-heap.
+//
+// VEBO's inner loop is `argmin_p w[p]` followed by an increase of that
+// partition's weight (Algorithm 2, lines 9-12). With a d-ary heap over the
+// P partition weights this costs O(log P) per vertex, giving the paper's
+// O(n log P) total. The heap is *indexed* — every key (partition id) has a
+// fixed slot — so increase-key/decrease-key are O(log P) too, which Gorder's
+// priority queue also relies on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace vebo {
+
+/// Min-heap over keys 0..n-1 with 64-bit priorities.
+/// Ties are broken by the smaller key so behaviour is deterministic (and
+/// matches the paper's convention of preferring lower partition ids).
+template <int Arity = 4>
+class IndexedMinHeap {
+  static_assert(Arity >= 2, "heap arity must be >= 2");
+
+ public:
+  using Priority = std::uint64_t;
+
+  explicit IndexedMinHeap(std::size_t n = 0) { reset(n); }
+
+  /// Re-initializes with n keys, all with priority 0.
+  void reset(std::size_t n) {
+    heap_.resize(n);
+    pos_.resize(n);
+    prio_.assign(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      heap_[i] = i;
+      pos_[i] = i;
+    }
+  }
+
+  std::size_t size() const { return heap_.size(); }
+  bool empty() const { return heap_.empty(); }
+
+  Priority priority(std::size_t key) const {
+    VEBO_ASSERT(key < prio_.size());
+    return prio_[key];
+  }
+
+  /// Key with the minimum priority (smallest key on ties).
+  std::size_t top() const {
+    VEBO_ASSERT(!heap_.empty());
+    return heap_[0];
+  }
+
+  /// Sets the priority of `key` and restores the heap property.
+  void update(std::size_t key, Priority p) {
+    VEBO_ASSERT(key < prio_.size());
+    const Priority old = prio_[key];
+    prio_[key] = p;
+    if (p < old || (p == old)) {
+      sift_up(pos_[key]);
+      sift_down(pos_[key]);
+    } else {
+      sift_down(pos_[key]);
+    }
+  }
+
+  /// Adds `delta` to the priority of `key` (the VEBO inner step).
+  void increase(std::size_t key, Priority delta) {
+    update(key, prio_[key] + delta);
+  }
+
+  /// Pops the min element (removes it from the heap).
+  std::size_t pop() {
+    VEBO_ASSERT(!heap_.empty());
+    const std::size_t k = heap_[0];
+    swap_slots(0, heap_.size() - 1);
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+    pos_[k] = static_cast<std::size_t>(-1);
+    return k;
+  }
+
+  /// Validates the heap property; used by tests.
+  bool valid() const {
+    for (std::size_t i = 1; i < heap_.size(); ++i) {
+      const std::size_t parent = (i - 1) / Arity;
+      if (less(heap_[i], heap_[parent])) return false;
+    }
+    return true;
+  }
+
+ private:
+  bool less(std::size_t a, std::size_t b) const {
+    if (prio_[a] != prio_[b]) return prio_[a] < prio_[b];
+    return a < b;
+  }
+
+  void swap_slots(std::size_t i, std::size_t j) {
+    std::swap(heap_[i], heap_[j]);
+    pos_[heap_[i]] = i;
+    pos_[heap_[j]] = j;
+  }
+
+  void sift_up(std::size_t i) {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / Arity;
+      if (!less(heap_[i], heap_[parent])) break;
+      swap_slots(i, parent);
+      i = parent;
+    }
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t n = heap_.size();
+    for (;;) {
+      std::size_t best = i;
+      const std::size_t first = i * Arity + 1;
+      for (std::size_t c = first; c < first + Arity && c < n; ++c)
+        if (less(heap_[c], heap_[best])) best = c;
+      if (best == i) break;
+      swap_slots(i, best);
+      i = best;
+    }
+  }
+
+  std::vector<std::size_t> heap_;  ///< slot -> key
+  std::vector<std::size_t> pos_;   ///< key -> slot
+  std::vector<Priority> prio_;     ///< key -> priority
+};
+
+}  // namespace vebo

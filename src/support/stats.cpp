@@ -1,0 +1,161 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace vebo {
+
+double Summary::spread() const {
+  if (min == 0.0) return 0.0;
+  return max / min;
+}
+
+namespace {
+
+double median_of_sorted(std::span<const double> xs) {
+  const std::size_t n = xs.size();
+  if (n == 0) return 0.0;
+  if (n % 2 == 1) return xs[n / 2];
+  return 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+}  // namespace
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.median = median_of_sorted(sorted);
+  double sum = 0.0;
+  for (double x : sorted) sum += x;
+  s.sum = sum;
+  s.mean = sum / static_cast<double>(s.count);
+  double var = 0.0;
+  for (double x : sorted) {
+    const double d = x - s.mean;
+    var += d * d;
+  }
+  s.stddev = std::sqrt(var / static_cast<double>(s.count));
+  return s;
+}
+
+Summary summarize(std::span<const std::size_t> xs) {
+  std::vector<double> d(xs.begin(), xs.end());
+  return summarize(d);
+}
+
+double percentile(std::span<const double> xs, double p) {
+  VEBO_CHECK(!xs.empty(), "percentile of empty sample");
+  VEBO_CHECK(p >= 0.0 && p <= 100.0, "percentile out of range");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted[0];
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double correlation(std::span<const double> xs, std::span<const double> ys) {
+  VEBO_CHECK(xs.size() == ys.size(), "correlation sample size mismatch");
+  VEBO_CHECK(xs.size() >= 2, "correlation needs at least 2 samples");
+  const double n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+  }
+  const double mx = sx / n, my = sy / n;
+  double sxy = 0, sxx = 0, syy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx, dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys) {
+  VEBO_CHECK(xs.size() == ys.size(), "linear_fit sample size mismatch");
+  VEBO_CHECK(xs.size() >= 2, "linear_fit needs at least 2 samples");
+  const double n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+  }
+  LinearFit f;
+  const double denom = n * sxx - sx * sx;
+  if (denom == 0.0) {
+    f.intercept = sy / n;
+    return f;
+  }
+  f.slope = (n * sxy - sx * sy) / denom;
+  f.intercept = (sy - f.slope * sx) / n;
+  // R^2
+  const double my = sy / n;
+  double ss_res = 0, ss_tot = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double pred = f.slope * xs[i] + f.intercept;
+    ss_res += (ys[i] - pred) * (ys[i] - pred);
+    ss_tot += (ys[i] - my) * (ys[i] - my);
+  }
+  f.r2 = (ss_tot == 0.0) ? 1.0 : 1.0 - ss_res / ss_tot;
+  return f;
+}
+
+std::vector<double> least_squares(const std::vector<std::vector<double>>& X,
+                                  std::span<const double> y) {
+  VEBO_CHECK(!X.empty(), "least_squares: empty design matrix");
+  VEBO_CHECK(X.size() == y.size(), "least_squares: size mismatch");
+  const std::size_t k = X[0].size() + 1;  // + intercept
+  const std::size_t n = X.size();
+  for (const auto& row : X)
+    VEBO_CHECK(row.size() + 1 == k, "least_squares: ragged design matrix");
+
+  // Build normal equations A beta = b with augmented design [X | 1].
+  std::vector<std::vector<double>> A(k, std::vector<double>(k, 0.0));
+  std::vector<double> b(k, 0.0);
+  auto xi = [&](std::size_t row, std::size_t col) -> double {
+    return col + 1 == k ? 1.0 : X[row][col];
+  };
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t i = 0; i < k; ++i) {
+      b[i] += xi(r, i) * y[r];
+      for (std::size_t j = 0; j < k; ++j) A[i][j] += xi(r, i) * xi(r, j);
+    }
+  }
+  // Gaussian elimination with partial pivoting.
+  for (std::size_t col = 0; col < k; ++col) {
+    std::size_t piv = col;
+    for (std::size_t r = col + 1; r < k; ++r)
+      if (std::abs(A[r][col]) > std::abs(A[piv][col])) piv = r;
+    std::swap(A[piv], A[col]);
+    std::swap(b[piv], b[col]);
+    const double d = A[col][col];
+    if (std::abs(d) < 1e-12) continue;  // singular direction: leave 0
+    for (std::size_t r = 0; r < k; ++r) {
+      if (r == col) continue;
+      const double f = A[r][col] / d;
+      for (std::size_t c = col; c < k; ++c) A[r][c] -= f * A[col][c];
+      b[r] -= f * b[col];
+    }
+  }
+  std::vector<double> beta(k, 0.0);
+  for (std::size_t i = 0; i < k; ++i)
+    beta[i] = (std::abs(A[i][i]) < 1e-12) ? 0.0 : b[i] / A[i][i];
+  return beta;
+}
+
+}  // namespace vebo

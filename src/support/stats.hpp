@@ -1,0 +1,56 @@
+// Summary statistics over numeric samples (used throughout the metrics
+// layer and by every benchmark that reports min / median / stddev / max
+// rows as in the paper's Table IV and Figure 1).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace vebo {
+
+/// One-pass summary of a sample: count, sum, extrema, mean, stddev.
+struct Summary {
+  std::size_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;   ///< population standard deviation
+  double median = 0.0;
+
+  /// max / min; 0 when min == 0 (reported as "spread" in the paper).
+  double spread() const;
+  /// max - min (the paper's Δ / δ style worst-case gap).
+  double gap() const { return max - min; }
+};
+
+/// Computes a full summary (sorts a copy internally for the median).
+Summary summarize(std::span<const double> xs);
+
+/// Convenience overload for integer samples.
+Summary summarize(std::span<const std::size_t> xs);
+
+/// p-th percentile (0..100) using linear interpolation; xs need not be
+/// sorted.
+double percentile(std::span<const double> xs, double p);
+
+/// Pearson correlation coefficient of two equally sized samples.
+double correlation(std::span<const double> xs, std::span<const double> ys);
+
+/// Ordinary least squares fit y = a*x + b; returns {a, b}.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;
+};
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys);
+
+/// Multiple linear regression with k regressors (normal equations via
+/// Gaussian elimination). Rows of X are samples. Returns coefficients of
+/// size k+1 with the intercept last. Used to calibrate the cost model
+/// t ≈ a·edges + b·dests + c·srcs + d.
+std::vector<double> least_squares(
+    const std::vector<std::vector<double>>& X, std::span<const double> y);
+
+}  // namespace vebo

@@ -1,0 +1,36 @@
+// Minimal console table printer so every bench binary emits the paper's
+// tables in a uniform, aligned format.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace vebo {
+
+/// Column-aligned text table. Add a header once, then rows; `print`
+/// right-aligns numeric-looking cells and left-aligns text.
+class Table {
+ public:
+  explicit Table(std::string title = "") : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> cells);
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 3);
+  static std::string num(std::size_t v);
+
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace vebo

@@ -1,0 +1,361 @@
+// Algorithm correctness: each of the 8 evaluation algorithms against its
+// sequential reference, across all three system models, plus invariance
+// of results under vertex reordering (the property that makes reordering
+// legal at all: the reordered graph is isomorphic, so results transport
+// through the permutation).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "algorithms/bc.hpp"
+#include "algorithms/bellman_ford.hpp"
+#include "algorithms/bfs.hpp"
+#include "algorithms/bp.hpp"
+#include "algorithms/cc.hpp"
+#include "algorithms/pagerank.hpp"
+#include "algorithms/pagerank_delta.hpp"
+#include "algorithms/reference.hpp"
+#include "algorithms/registry.hpp"
+#include "algorithms/spmv.hpp"
+#include "gen/erdos.hpp"
+#include "gen/rmat.hpp"
+#include "gen/road.hpp"
+#include "gen/synthetic.hpp"
+#include "graph/permute.hpp"
+#include "order/vebo.hpp"
+#include "support/error.hpp"
+
+namespace vebo {
+namespace {
+
+class AlgoModels : public ::testing::TestWithParam<SystemModel> {
+ protected:
+  Engine make_engine(const Graph& g) const {
+    return Engine(g, GetParam(), {.partitions = 16});
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(Models, AlgoModels,
+                         ::testing::Values(SystemModel::Ligra,
+                                           SystemModel::Polymer,
+                                           SystemModel::GraphGrind),
+                         [](const auto& info) {
+                           return to_string(info.param);
+                         });
+
+// ------------------------------------------------------------------ BFS
+
+TEST_P(AlgoModels, BfsMatchesReferenceLevels) {
+  const Graph g = gen::rmat(10, 6, 3);
+  Engine eng = make_engine(g);
+  const auto res = algo::bfs(eng, 0);
+  const auto ref = algo::ref::bfs_levels(g, 0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    ASSERT_EQ(res.level[v], ref[v]) << "v=" << v;
+}
+
+TEST_P(AlgoModels, BfsParentsFormValidTree) {
+  const Graph g = gen::rmat(9, 6, 5);
+  Engine eng = make_engine(g);
+  const auto res = algo::bfs(eng, 1);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (res.parent[v] == kInvalidVertex || v == 1) continue;
+    const VertexId p = res.parent[v];
+    // Parent must be exactly one level above and actually adjacent.
+    ASSERT_EQ(res.level[p] + 1, res.level[v]);
+    auto nb = g.out_neighbors(p);
+    ASSERT_TRUE(std::binary_search(nb.begin(), nb.end(), v));
+  }
+}
+
+TEST(Bfs, PathGraphLevels) {
+  const Graph g = gen::path(10);
+  Engine eng(g, SystemModel::Ligra);
+  const auto res = algo::bfs(eng, 0);
+  for (VertexId v = 0; v < 10; ++v) EXPECT_EQ(res.level[v], v);
+  EXPECT_EQ(res.reached, 10u);
+}
+
+TEST(Bfs, UnreachableVerticesStayInvalid) {
+  EdgeList el(4, {{0, 1}}, true);
+  const Graph g = Graph::from_edges(std::move(el));
+  Engine eng(g, SystemModel::Ligra);
+  const auto res = algo::bfs(eng, 0);
+  EXPECT_EQ(res.reached, 2u);
+  EXPECT_EQ(res.level[2], kInvalidVertex);
+  EXPECT_EQ(res.parent[3], kInvalidVertex);
+}
+
+// ------------------------------------------------------------------- CC
+
+TEST_P(AlgoModels, CcMatchesUnionFind) {
+  const Graph g = gen::erdos_renyi(2000, 3000, 7);  // sparse -> many comps
+  Engine eng = make_engine(g);
+  const auto res = algo::connected_components(eng);
+  const auto ref = algo::ref::wcc_labels(g);
+  EXPECT_EQ(res.label, ref);
+}
+
+TEST(Cc, CountsComponents) {
+  EdgeList el(7, {{0, 1}, {1, 2}, {3, 4}}, true);
+  const Graph g = Graph::from_edges(std::move(el));
+  Engine eng(g, SystemModel::Ligra);
+  const auto res = algo::connected_components(eng);
+  EXPECT_EQ(res.num_components, 4u);  // {0,1,2}, {3,4}, {5}, {6}
+  EXPECT_EQ(res.label[2], 0u);
+  EXPECT_EQ(res.label[4], 3u);
+  EXPECT_EQ(res.label[5], 5u);
+}
+
+TEST(Cc, DirectedEdgesYieldWeakComponents) {
+  // Chain directed one way: still one weak component.
+  const Graph g = gen::path(64);
+  Engine eng(g, SystemModel::GraphGrind, {.partitions = 8});
+  const auto res = algo::connected_components(eng);
+  EXPECT_EQ(res.num_components, 1u);
+}
+
+// ------------------------------------------------------------------- PR
+
+TEST_P(AlgoModels, PagerankMatchesReference) {
+  const Graph g = gen::rmat(10, 6, 9);
+  Engine eng = make_engine(g);
+  const auto res = algo::pagerank(eng, {.iterations = 10});
+  const auto ref = algo::ref::pagerank(g, 10);
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    ASSERT_NEAR(res.rank[v], ref[v], 1e-12) << "v=" << v;
+}
+
+TEST_P(AlgoModels, PagerankCooPathMatchesPull) {
+  const Graph g = gen::rmat(9, 6, 2);
+  Engine eng = make_engine(g);
+  const auto pull = algo::pagerank(eng, {.iterations = 5, .use_coo = false});
+  const auto coo = algo::pagerank(eng, {.iterations = 5, .use_coo = true});
+  if (!eng.partitioned()) GTEST_SKIP() << "COO path needs partitions";
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    ASSERT_NEAR(pull.rank[v], coo.rank[v], 1e-12);
+}
+
+TEST(Pagerank, MassConservedOnCycle) {
+  // On a cycle every vertex has out-degree 1: total mass stays 1.
+  const Graph g = gen::cycle(100);
+  Engine eng(g, SystemModel::Ligra);
+  const auto res = algo::pagerank(eng, {.iterations = 20});
+  EXPECT_NEAR(res.total_mass, 1.0, 1e-9);
+}
+
+TEST(Pagerank, HubReceivesHighestRank) {
+  const Graph g = gen::star(50);  // all leaves point at vertex 0
+  Engine eng(g, SystemModel::Ligra);
+  const auto res = algo::pagerank(eng);
+  for (VertexId v = 1; v < 50; ++v) EXPECT_GT(res.rank[0], res.rank[v]);
+}
+
+TEST(Pagerank, PartitionTimesCoverAllPartitions) {
+  const Graph g = gen::rmat(10, 6, 4);
+  Engine eng(g, SystemModel::GraphGrind, {.partitions = 32});
+  const auto times = algo::pagerank_partition_times(eng, 2);
+  EXPECT_EQ(times.size(), 32u);
+  for (double t : times) EXPECT_GE(t, 0.0);
+}
+
+// ------------------------------------------------------------------ PRD
+
+TEST_P(AlgoModels, PagerankDeltaWithZeroEpsilonEqualsPowerMethod) {
+  // With epsilon=0 no vertex ever leaves the frontier, so accumulated
+  // deltas reproduce the power method exactly.
+  const Graph g = gen::rmat(9, 6, 6);
+  Engine eng = make_engine(g);
+  const auto prd = algo::pagerank_delta(
+      eng, {.max_iterations = 8, .epsilon = 0.0});
+  const auto ref = algo::ref::pagerank(g, 8);
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    ASSERT_NEAR(prd.rank[v], ref[v], 1e-10) << "v=" << v;
+}
+
+TEST(PagerankDelta, FrontierShrinks) {
+  const Graph g = gen::rmat(10, 6, 7);
+  Engine eng(g, SystemModel::Ligra);
+  const auto res = algo::pagerank_delta(eng, {.max_iterations = 10,
+                                              .epsilon = 1e-2});
+  ASSERT_GE(res.active_per_iteration.size(), 2u);
+  EXPECT_LT(res.active_per_iteration.back(),
+            res.active_per_iteration.front());
+}
+
+// ----------------------------------------------------------------- SPMV
+
+TEST_P(AlgoModels, SpmvMatchesReference) {
+  const Graph g = gen::rmat(9, 6, 8);
+  Engine eng = make_engine(g);
+  std::vector<double> x(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    x[v] = 1.0 + (v % 5) * 0.25;
+  const auto res = algo::spmv(eng, x);
+  const auto ref = algo::ref::spmv(g, x);
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    ASSERT_NEAR(res.y[v], ref[v], 1e-9);
+}
+
+TEST(Spmv, EdgeWeightDeterministicAndBounded) {
+  for (VertexId u = 0; u < 50; ++u)
+    for (VertexId v = 0; v < 50; v += 7) {
+      const double w = algo::edge_weight(u, v);
+      ASSERT_GE(w, 1.0);
+      ASSERT_LE(w, 32.0);
+      ASSERT_EQ(w, algo::edge_weight(u, v));
+    }
+}
+
+// ------------------------------------------------------------------- BF
+
+TEST_P(AlgoModels, BellmanFordMatchesDijkstra) {
+  const Graph g = gen::rmat(9, 6, 4);
+  Engine eng = make_engine(g);
+  const auto res = algo::bellman_ford(eng, 0);
+  const auto ref = algo::ref::dijkstra(g, 0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (ref[v] == algo::kUnreachable) {
+      ASSERT_EQ(res.distance[v], algo::kUnreachable) << "v=" << v;
+    } else {
+      ASSERT_NEAR(res.distance[v], ref[v], 1e-9) << "v=" << v;
+    }
+  }
+}
+
+TEST(BellmanFord, RoadNetwork) {
+  const Graph g = gen::road_grid(24, 24, 2);
+  Engine eng(g, SystemModel::Polymer, {.partitions = 4});
+  const auto res = algo::bellman_ford(eng, 0);
+  const auto ref = algo::ref::dijkstra(g, 0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    ASSERT_NEAR(res.distance[v], ref[v], 1e-9);
+}
+
+// ------------------------------------------------------------------- BC
+
+TEST_P(AlgoModels, BetweennessMatchesBrandes) {
+  const Graph g = gen::rmat(9, 4, 10);
+  Engine eng = make_engine(g);
+  const auto res = algo::betweenness(eng, 0);
+  const auto ref = algo::ref::brandes_dependency(g, 0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    ASSERT_NEAR(res.dependency[v], ref[v], 1e-6) << "v=" << v;
+}
+
+TEST(Betweenness, PathGraphDependencies) {
+  // On a directed path 0->1->2->3->4 from source 0: delta[v] counts the
+  // downstream vertices: delta[1]=3, delta[2]=2, delta[3]=1, delta[4]=0.
+  const Graph g = gen::path(5);
+  Engine eng(g, SystemModel::Ligra);
+  const auto res = algo::betweenness(eng, 0);
+  EXPECT_NEAR(res.dependency[1], 3.0, 1e-12);
+  EXPECT_NEAR(res.dependency[2], 2.0, 1e-12);
+  EXPECT_NEAR(res.dependency[3], 1.0, 1e-12);
+  EXPECT_NEAR(res.dependency[4], 0.0, 1e-12);
+  EXPECT_NEAR(res.num_paths[4], 1.0, 1e-12);
+}
+
+// ------------------------------------------------------------------- BP
+
+TEST_P(AlgoModels, BeliefPropagationDeterministicAcrossModels) {
+  const Graph g = gen::rmat(9, 5, 11);
+  Engine eng = make_engine(g);
+  const auto res = algo::belief_propagation(eng, {.iterations = 10});
+  EXPECT_EQ(res.iterations, 10);
+  // Compare against the Ligra (unpartitioned) engine: identical math.
+  Engine ligra(g, SystemModel::Ligra);
+  const auto ref = algo::belief_propagation(ligra, {.iterations = 10});
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    ASSERT_NEAR(res.belief[v], ref.belief[v], 1e-9);
+}
+
+TEST(BeliefPropagation, ConvergesOnTree) {
+  const Graph g = gen::path(32);
+  Engine eng(g, SystemModel::Ligra);
+  const auto r5 = algo::belief_propagation(eng, {.iterations = 5});
+  const auto r40 = algo::belief_propagation(eng, {.iterations = 40});
+  EXPECT_LT(r40.residual, r5.residual + 1e-9);
+  EXPECT_LT(r40.residual, 1e-6);  // converged on a chain
+}
+
+// ----------------------------------------------- reordering invariance
+
+class ReorderInvariance : public ::testing::TestWithParam<SystemModel> {};
+
+INSTANTIATE_TEST_SUITE_P(Models, ReorderInvariance,
+                         ::testing::Values(SystemModel::Ligra,
+                                           SystemModel::Polymer,
+                                           SystemModel::GraphGrind),
+                         [](const auto& info) {
+                           return to_string(info.param);
+                         });
+
+TEST_P(ReorderInvariance, BfsLevelsTransportThroughVebo) {
+  const Graph g = gen::rmat(10, 6, 12);
+  const auto r = order::vebo(g, 48);
+  const Graph h = permute(g, r.perm);
+  Engine eg(g, GetParam(), {.partitions = 16});
+  Engine eh(h, GetParam(), {.partitions = 16});
+  const auto a = algo::bfs(eg, 0);
+  const auto b = algo::bfs(eh, r.perm[0]);
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    ASSERT_EQ(a.level[v], b.level[r.perm[v]]) << "v=" << v;
+  EXPECT_EQ(a.reached, b.reached);
+}
+
+TEST_P(ReorderInvariance, PagerankTransportsThroughVebo) {
+  const Graph g = gen::rmat(9, 6, 13);
+  const auto r = order::vebo(g, 48);
+  const Graph h = permute(g, r.perm);
+  Engine eg(g, GetParam(), {.partitions = 16});
+  Engine eh(h, GetParam(), {.partitions = 16});
+  const auto a = algo::pagerank(eg, {.iterations = 8});
+  const auto b = algo::pagerank(eh, {.iterations = 8});
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    ASSERT_NEAR(a.rank[v], b.rank[r.perm[v]], 1e-12);
+}
+
+TEST_P(ReorderInvariance, CcComponentCountStableUnderVebo) {
+  const Graph g = gen::erdos_renyi(3000, 4000, 21);
+  const auto r = order::vebo(g, 48);
+  const Graph h = permute(g, r.perm);
+  Engine eg(g, GetParam(), {.partitions = 16});
+  Engine eh(h, GetParam(), {.partitions = 16});
+  EXPECT_EQ(algo::connected_components(eg).num_components,
+            algo::connected_components(eh).num_components);
+}
+
+// --------------------------------------------------------------- registry
+
+TEST(Registry, HasAllEightAlgorithms) {
+  const auto& algos = algo::algorithms();
+  ASSERT_EQ(algos.size(), 8u);
+  const char* expected[] = {"BC", "CC", "PR", "BFS",
+                            "PRD", "SPMV", "BF", "BP"};
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(algos[i].code, expected[i]);
+}
+
+TEST(Registry, LookupAndRun) {
+  const Graph g = gen::rmat(8, 4, 1);
+  Engine eng(g, SystemModel::Ligra);
+  const auto& pr = algo::algorithm("PR");
+  EXPECT_TRUE(pr.edge_oriented);
+  const double mass = pr.run(eng, 0);
+  EXPECT_GT(mass, 0.0);
+  EXPECT_THROW(algo::algorithm("XX"), Error);
+}
+
+TEST(Registry, AllRunnersExecuteOnSmallGraph) {
+  const Graph g = gen::rmat(8, 4, 5);
+  Engine eng(g, SystemModel::GraphGrind, {.partitions = 8});
+  for (const auto& a : algo::algorithms()) {
+    SCOPED_TRACE(a.code);
+    const double checksum = a.run(eng, 0);
+    EXPECT_TRUE(std::isfinite(checksum));
+  }
+}
+
+}  // namespace
+}  // namespace vebo

@@ -1,0 +1,165 @@
+// Tests for the graph generators: structural guarantees, determinism and
+// the degree-distribution properties the stand-ins must reproduce.
+#include <gtest/gtest.h>
+
+#include "gen/datasets.hpp"
+#include "gen/erdos.hpp"
+#include "gen/powerlaw.hpp"
+#include "gen/rmat.hpp"
+#include "gen/road.hpp"
+#include "gen/synthetic.hpp"
+#include "graph/degree.hpp"
+#include "support/error.hpp"
+
+namespace vebo {
+namespace {
+
+TEST(Rmat, SizesAndDeterminism) {
+  const Graph a = gen::rmat(10, 8, 7);
+  EXPECT_EQ(a.num_vertices(), 1024u);
+  EXPECT_EQ(a.num_edges(), 8u * 1024u);
+  const Graph b = gen::rmat(10, 8, 7);
+  EXPECT_EQ(a.out_csr(), b.out_csr());
+  const Graph c = gen::rmat(10, 8, 8);
+  EXPECT_NE(a.out_csr(), c.out_csr());
+}
+
+TEST(Rmat, SkewedDegrees) {
+  const Graph g = gen::rmat(12, 16, 1);
+  // Power-law-ish: max degree far above average; many zero in-degree.
+  const double avg =
+      static_cast<double>(g.num_edges()) / g.num_vertices();
+  EXPECT_GT(static_cast<double>(g.max_in_degree()), 20.0 * avg);
+  EXPECT_GT(g.count_zero_in_degree(), g.num_vertices() / 20);
+}
+
+TEST(Rmat, RejectsBadScale) {
+  EXPECT_THROW(gen::rmat(0, 8, 1), Error);
+  EXPECT_THROW(gen::rmat(31, 8, 1), Error);
+}
+
+TEST(Zipf, DegreeSequenceShape) {
+  const auto deg = gen::zipf_degree_sequence(20000, 3, {.s = 1.0});
+  EXPECT_EQ(deg.size(), 20000u);
+  // Degree 0 must be the most frequent value (pmf is decreasing in rank).
+  std::size_t zero = 0, one = 0;
+  for (EdgeId d : deg) {
+    if (d == 0) ++zero;
+    if (d == 1) ++one;
+  }
+  EXPECT_GT(zero, one);
+  EXPECT_GT(one, 0u);
+}
+
+TEST(Zipf, GraphMatchesRequestedInDegrees) {
+  const std::vector<EdgeId> want = {3, 0, 2, 5, 1, 0};
+  const Graph g = gen::graph_from_in_degrees(want, 9);
+  for (VertexId v = 0; v < 6; ++v) EXPECT_EQ(g.in_degree(v), want[v]);
+}
+
+TEST(Zipf, DirectedGraphDeterministic) {
+  const Graph a = gen::zipf_directed(2048, 5);
+  const Graph b = gen::zipf_directed(2048, 5);
+  EXPECT_EQ(a.out_csr(), b.out_csr());
+}
+
+TEST(ChungLu, UndirectedPowerLaw) {
+  const Graph g = gen::chung_lu(8192, 2.0, 8.0, 11);
+  EXPECT_FALSE(g.directed());
+  // Symmetric: in-degree == out-degree everywhere.
+  for (VertexId v = 0; v < g.num_vertices(); v += 97)
+    EXPECT_EQ(g.in_degree(v), g.out_degree(v));
+  // Average degree in the requested ballpark.
+  const double avg = static_cast<double>(g.num_edges()) / g.num_vertices();
+  EXPECT_GT(avg, 2.0);
+  EXPECT_LT(avg, 16.0);
+  // Skew present.
+  EXPECT_GT(g.max_in_degree(), 50u);
+}
+
+TEST(ErdosRenyi, NearUniformDegrees) {
+  const Graph g = gen::erdos_renyi(4096, 40960, 5);
+  EXPECT_EQ(g.num_edges(), 40960u);
+  // Binomial in-degrees: max close to mean (no power-law tail).
+  const double avg = static_cast<double>(g.num_edges()) / g.num_vertices();
+  EXPECT_LT(static_cast<double>(g.max_in_degree()), avg * 5.0);
+}
+
+TEST(Road, GridStructure) {
+  const Graph g = gen::road_grid(32, 32, 3);
+  EXPECT_EQ(g.num_vertices(), 1024u);
+  EXPECT_FALSE(g.directed());
+  EXPECT_LE(g.max_in_degree(), 8u);  // 4-neigh + up to 2 diagonals each way
+  // Nearly uniform: no zero-degree explosion.
+  EXPECT_LT(g.count_zero_in_degree(), 20u);
+}
+
+TEST(Road, RejectsDegenerate) {
+  EXPECT_THROW(gen::road_grid(1, 5, 0), Error);
+}
+
+TEST(Synthetic, PathCycleStarComplete) {
+  const Graph p = gen::path(5);
+  EXPECT_EQ(p.num_edges(), 4u);
+  const Graph c = gen::cycle(5);
+  EXPECT_EQ(c.num_edges(), 5u);
+  for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(c.in_degree(v), 1u);
+  const Graph s = gen::star(6);
+  EXPECT_EQ(s.in_degree(0), 5u);
+  EXPECT_EQ(s.count_zero_in_degree(), 5u);
+  const Graph k = gen::complete(4);
+  EXPECT_EQ(k.num_edges(), 12u);
+}
+
+TEST(Synthetic, PreferentialAttachmentHubs) {
+  const Graph g = gen::preferential_attachment(4000, 3, 17);
+  EXPECT_FALSE(g.directed());
+  // Oldest vertices should be hubs.
+  EXPECT_GT(g.in_degree(0) + g.in_degree(1) + g.in_degree(2),
+            30u);
+  // Power-law-ish exponent in a plausible band.
+  const double alpha = in_degree_histogram(g).powerlaw_exponent(3);
+  EXPECT_GT(alpha, 1.0);
+  EXPECT_LT(alpha, 5.0);
+}
+
+TEST(Datasets, AllSpecsBuildAtTinyScale) {
+  for (const auto& spec : gen::dataset_specs()) {
+    SCOPED_TRACE(spec.name);
+    const Graph g = gen::make_dataset(spec.name, 0.1, 1);
+    EXPECT_GT(g.num_vertices(), 100u);
+    EXPECT_GT(g.num_edges(), 100u);
+    EXPECT_EQ(g.directed(), spec.directed);
+  }
+}
+
+TEST(Datasets, PowerLawFlagMatchesSkew) {
+  for (const auto& spec : gen::dataset_specs()) {
+    SCOPED_TRACE(spec.name);
+    const Graph g = gen::make_dataset(spec.name, 0.1, 1);
+    const double avg =
+        static_cast<double>(g.num_edges()) / g.num_vertices();
+    const double skew = static_cast<double>(g.max_in_degree()) / avg;
+    if (spec.powerlaw)
+      EXPECT_GT(skew, 5.0);
+    else
+      EXPECT_LT(skew, 5.0);  // usaroad: near-uniform
+  }
+}
+
+TEST(Datasets, UnknownNameThrows) {
+  EXPECT_THROW(gen::make_dataset("nope"), Error);
+}
+
+TEST(Datasets, DirectedStandInsHaveZeroInDegreeVertices) {
+  // Theorem 2's phase-2 supply: directed scale-free graphs carry
+  // zero-in-degree vertices (Table I shows 14%-69%).
+  for (const char* name : {"twitter", "friendster", "rmat27"}) {
+    SCOPED_TRACE(name);
+    const Graph g = gen::make_dataset(name, 0.1, 1);
+    EXPECT_GT(g.count_zero_in_degree(), g.num_vertices() / 50);
+  }
+}
+
+}  // namespace
+}  // namespace vebo

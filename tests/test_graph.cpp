@@ -1,0 +1,281 @@
+// Tests for the graph core: edge lists, CSR/CSC construction, Graph,
+// degree statistics, permutation machinery, and I/O round trips.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "gen/synthetic.hpp"
+#include "graph/degree.hpp"
+#include "graph/graph.hpp"
+#include "graph/io.hpp"
+#include "graph/permute.hpp"
+#include "support/error.hpp"
+
+namespace vebo {
+namespace {
+
+EdgeList small_list() {
+  // 0->1, 0->2, 1->2, 3->0  (n=4)
+  return EdgeList(4, {{0, 1}, {0, 2}, {1, 2}, {3, 0}}, true);
+}
+
+// -------------------------------------------------------------- EdgeList
+
+TEST(EdgeList, BasicCounts) {
+  EdgeList el = small_list();
+  EXPECT_EQ(el.num_vertices(), 4u);
+  EXPECT_EQ(el.num_edges(), 4u);
+  EXPECT_TRUE(el.directed());
+}
+
+TEST(EdgeList, AddGrowsVertexCount) {
+  EdgeList el;
+  el.add(5, 2);
+  EXPECT_EQ(el.num_vertices(), 6u);
+  EXPECT_EQ(el.num_edges(), 1u);
+}
+
+TEST(EdgeList, ValidateRejectsOutOfRange) {
+  EXPECT_THROW(EdgeList(2, {{0, 5}}, true), Error);
+}
+
+TEST(EdgeList, RemoveSelfLoops) {
+  EdgeList el(3, {{0, 0}, {0, 1}, {2, 2}}, true);
+  el.remove_self_loops();
+  EXPECT_EQ(el.num_edges(), 1u);
+  EXPECT_EQ(el.edges()[0], (Edge{0, 1}));
+}
+
+TEST(EdgeList, RemoveDuplicates) {
+  EdgeList el(3, {{0, 1}, {0, 1}, {1, 2}, {0, 1}}, true);
+  el.remove_duplicates();
+  EXPECT_EQ(el.num_edges(), 2u);
+}
+
+TEST(EdgeList, SymmetrizeAddsReverses) {
+  EdgeList el(3, {{0, 1}, {1, 2}}, true);
+  el.symmetrize();
+  EXPECT_FALSE(el.directed());
+  EXPECT_EQ(el.num_edges(), 4u);
+}
+
+TEST(EdgeList, SortOrders) {
+  EdgeList el(3, {{2, 0}, {0, 2}, {1, 1}, {0, 1}}, true);
+  el.sort_by_source();
+  EXPECT_TRUE(el.is_sorted_by_source());
+  el.sort_by_destination();
+  auto e = el.edges();
+  for (std::size_t i = 1; i < e.size(); ++i) EXPECT_LE(e[i - 1].dst, e[i].dst);
+}
+
+// ------------------------------------------------------------------ Csr
+
+TEST(Csr, BuildBySource) {
+  const Csr csr = Csr::build(small_list(), /*by_destination=*/false);
+  EXPECT_EQ(csr.num_vertices(), 4u);
+  EXPECT_EQ(csr.num_edges(), 4u);
+  EXPECT_EQ(csr.degree(0), 2u);
+  EXPECT_EQ(csr.degree(1), 1u);
+  EXPECT_EQ(csr.degree(2), 0u);
+  EXPECT_EQ(csr.degree(3), 1u);
+  auto n0 = csr.neighbors(0);
+  EXPECT_EQ(std::vector<VertexId>(n0.begin(), n0.end()),
+            (std::vector<VertexId>{1, 2}));
+  EXPECT_TRUE(csr.valid());
+}
+
+TEST(Csr, BuildByDestinationIsCsc) {
+  const Csr csc = Csr::build(small_list(), /*by_destination=*/true);
+  EXPECT_EQ(csc.degree(0), 1u);  // in-edges of 0: from 3
+  EXPECT_EQ(csc.degree(2), 2u);
+  auto in2 = csc.neighbors(2);
+  EXPECT_EQ(std::vector<VertexId>(in2.begin(), in2.end()),
+            (std::vector<VertexId>{0, 1}));
+}
+
+TEST(Csr, RawConstructorValidates) {
+  EXPECT_THROW(Csr({0, 2}, {1}), Error);  // offsets.back() != neighbors
+  const Csr ok({0, 1}, {0});
+  EXPECT_TRUE(ok.valid());
+}
+
+TEST(Csr, EmptyGraph) {
+  const Csr csr = Csr::build(EdgeList(3, {}, true), false);
+  EXPECT_EQ(csr.num_vertices(), 3u);
+  EXPECT_EQ(csr.num_edges(), 0u);
+  EXPECT_TRUE(csr.valid());
+}
+
+// ---------------------------------------------------------------- Graph
+
+TEST(Graph, FromEdgesBuildsBothDirections) {
+  const Graph g = Graph::from_edges(small_list());
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.out_degree(0), 2u);
+  EXPECT_EQ(g.in_degree(2), 2u);
+  EXPECT_EQ(g.max_in_degree(), 2u);
+  EXPECT_EQ(g.count_zero_in_degree(), 1u);  // vertex 3
+  EXPECT_EQ(g.count_zero_out_degree(), 1u); // vertex 2
+}
+
+TEST(Graph, DescribeMentionsCounts) {
+  const Graph g = Graph::from_edges(small_list());
+  const std::string d = g.describe("tiny");
+  EXPECT_NE(d.find("tiny"), std::string::npos);
+  EXPECT_NE(d.find("|V|=4"), std::string::npos);
+}
+
+TEST(Graph, Figure3ExampleDegrees) {
+  const Graph g = gen::figure3_example();
+  ASSERT_EQ(g.num_vertices(), 6u);
+  EXPECT_EQ(g.num_edges(), 14u);
+  const EdgeId expected[] = {1, 2, 2, 2, 4, 3};
+  for (VertexId v = 0; v < 6; ++v) EXPECT_EQ(g.in_degree(v), expected[v]);
+}
+
+// --------------------------------------------------------------- degree
+
+TEST(Degree, ArraysMatchGraph) {
+  const Graph g = Graph::from_edges(small_list());
+  const auto ind = in_degrees(g);
+  const auto outd = out_degrees(g);
+  for (VertexId v = 0; v < 4; ++v) {
+    EXPECT_EQ(ind[v], g.in_degree(v));
+    EXPECT_EQ(outd[v], g.out_degree(v));
+  }
+}
+
+TEST(Degree, SortByDecreasingInDegreeStable) {
+  const Graph g = gen::figure3_example();
+  const auto order = vertices_by_decreasing_in_degree(g);
+  ASSERT_EQ(order.size(), 6u);
+  EXPECT_EQ(order[0], 4u);  // degree 4
+  EXPECT_EQ(order[1], 5u);  // degree 3
+  // degree-2 class in ascending id order (stability)
+  EXPECT_EQ(order[2], 1u);
+  EXPECT_EQ(order[3], 2u);
+  EXPECT_EQ(order[4], 3u);
+  EXPECT_EQ(order[5], 0u);  // degree 1
+}
+
+TEST(Degree, ProfileComputesPercentages) {
+  const Graph g = Graph::from_edges(small_list());
+  const GraphProfile p = profile(g);
+  EXPECT_EQ(p.vertices, 4u);
+  EXPECT_EQ(p.edges, 4u);
+  EXPECT_DOUBLE_EQ(p.pct_zero_in, 25.0);
+  EXPECT_DOUBLE_EQ(p.pct_zero_out, 25.0);
+}
+
+// -------------------------------------------------------------- permute
+
+TEST(Permute, IdentityKeepsGraph) {
+  const Graph g = Graph::from_edges(small_list());
+  const Graph h = permute(g, identity_permutation(4));
+  EXPECT_EQ(g.out_csr(), h.out_csr());
+  EXPECT_EQ(structural_hash(g), structural_hash(h));
+}
+
+TEST(Permute, IsPermutationDetectsBadInput) {
+  EXPECT_TRUE(is_permutation(std::vector<VertexId>{2, 0, 1}));
+  EXPECT_FALSE(is_permutation(std::vector<VertexId>{0, 0, 1}));
+  EXPECT_FALSE(is_permutation(std::vector<VertexId>{0, 3, 1}));
+}
+
+TEST(Permute, InvertRoundTrips) {
+  const Permutation p = {2, 0, 3, 1};
+  const Permutation inv = invert(p);
+  for (VertexId v = 0; v < 4; ++v) EXPECT_EQ(inv[p[v]], v);
+}
+
+TEST(Permute, ComposeAppliesInnerFirst) {
+  const Permutation inner = {1, 2, 0};
+  const Permutation outer = {2, 0, 1};
+  const Permutation c = compose(outer, inner);
+  for (VertexId v = 0; v < 3; ++v) EXPECT_EQ(c[v], outer[inner[v]]);
+}
+
+TEST(Permute, RelabelPreservesStructure) {
+  const Graph g = Graph::from_edges(small_list());
+  const Permutation p = {3, 1, 0, 2};
+  const Graph h = permute(g, p);
+  EXPECT_TRUE(is_isomorphic_under(g, h, p));
+  // Degrees transported.
+  for (VertexId v = 0; v < 4; ++v)
+    EXPECT_EQ(g.in_degree(v), h.in_degree(p[v]));
+}
+
+TEST(Permute, IsomorphismFailsForWrongWitness) {
+  const Graph g = Graph::from_edges(small_list());
+  const Graph h = permute(g, Permutation{3, 1, 0, 2});
+  EXPECT_FALSE(is_isomorphic_under(g, h, identity_permutation(4)));
+}
+
+TEST(Permute, RejectsSizeMismatch) {
+  const Graph g = Graph::from_edges(small_list());
+  EXPECT_THROW(permute(g, Permutation{0, 1}), Error);
+}
+
+// ------------------------------------------------------------------- io
+
+TEST(Io, AdjacencyRoundTrip) {
+  const Graph g = Graph::from_edges(small_list());
+  std::stringstream ss;
+  io::write_adjacency(ss, g);
+  const Graph h = io::read_adjacency(ss);
+  EXPECT_EQ(g.out_csr(), h.out_csr());
+  EXPECT_EQ(g.in_csr(), h.in_csr());
+}
+
+TEST(Io, AdjacencyRejectsBadHeader) {
+  std::stringstream ss("NotAGraph\n1\n0\n");
+  EXPECT_THROW(io::read_adjacency(ss), Error);
+}
+
+TEST(Io, AdjacencyRejectsTruncation) {
+  std::stringstream ss("AdjacencyGraph\n3\n5\n0\n1\n");
+  EXPECT_THROW(io::read_adjacency(ss), Error);
+}
+
+TEST(Io, EdgeListRoundTrip) {
+  const Graph g = Graph::from_edges(small_list());
+  std::stringstream ss;
+  io::write_edge_list(ss, g);
+  const EdgeList el = io::read_edge_list(ss, 4);
+  const Graph h = Graph::from_edges(el);
+  EXPECT_EQ(g.out_csr(), h.out_csr());
+}
+
+TEST(Io, EdgeListSkipsComments) {
+  std::stringstream ss("# comment\n0 1\n\n1 2\n");
+  const EdgeList el = io::read_edge_list(ss);
+  EXPECT_EQ(el.num_edges(), 2u);
+  EXPECT_EQ(el.num_vertices(), 3u);
+}
+
+TEST(Io, BinaryRoundTrip) {
+  const Graph g = gen::figure3_example();
+  const std::string path = ::testing::TempDir() + "/vebo_test_graph.bin";
+  io::write_binary_file(path, g);
+  const Graph h = io::read_binary_file(path);
+  EXPECT_EQ(g.out_csr(), h.out_csr());
+  EXPECT_EQ(g.directed(), h.directed());
+  std::remove(path.c_str());
+}
+
+TEST(Io, BinaryRejectsBadMagic) {
+  const std::string path = ::testing::TempDir() + "/vebo_bad_magic.bin";
+  {
+    std::ofstream os(path, std::ios::binary);
+    const char junk[32] = {};
+    os.write(junk, sizeof junk);
+  }
+  EXPECT_THROW(io::read_binary_file(path), Error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace vebo
