@@ -11,7 +11,7 @@ namespace {
 
 struct ForwardFunctor {
   std::atomic<double>* sigma;
-  const DynamicBitset* visited;
+  const AtomicBitset* visited;
 
   bool update(VertexId u, VertexId v) {
     // Pull: single writer per v.
@@ -45,7 +45,7 @@ BcResult betweenness(const Engine& eng, VertexId source) {
   for (auto& s : sigma) s.store(0.0, std::memory_order_relaxed);
   sigma[source].store(1.0, std::memory_order_relaxed);
 
-  DynamicBitset visited(n);
+  AtomicBitset visited(n);
   visited.set(source);
   std::vector<VertexId> level(n, kInvalidVertex);
   level[source] = 0;
@@ -63,14 +63,14 @@ BcResult betweenness(const Engine& eng, VertexId source) {
     VertexSubset next =
         edge_map(eng, frontier, f, {.pull_early_exit = false});
     ++depth;
-    std::vector<VertexId> members;
-    next.for_each([&](VertexId v) {
+    vertex_map(eng, next, [&](VertexId v) {
       visited.set(v);
       level[v] = static_cast<VertexId>(depth);
-      members.push_back(v);
     });
-    if (members.empty()) break;
-    levels.push_back(std::move(members));
+    next.to_sparse(eng.vertex_loop());
+    auto ids = next.vertices();
+    if (ids.empty()) break;
+    levels.emplace_back(ids.begin(), ids.end());
     frontier = std::move(next);
   }
 

@@ -52,24 +52,26 @@ BfsResult bfs(const Engine& eng, VertexId source) {
   BfsFunctor f{parent.data()};
   int round = 0;
   while (!frontier.empty_set()) {
-    EdgeId active_edges = 0;
-    frontier.for_each([&](VertexId v) { active_edges += g.out_degree(v); });
-    res.active_edges_per_round.push_back(active_edges);
+    // Cached on the subset; edgemap's direction heuristic reuses it.
+    res.active_edges_per_round.push_back(
+        frontier.out_edges(g, eng.vertex_loop()));
 
     VertexSubset next = edge_map(eng, frontier, f);
     ++round;
-    next.for_each([&](VertexId v) {
+    vertex_map(eng, next, [&](VertexId v) {
       res.level[v] = static_cast<VertexId>(round);
     });
     frontier = std::move(next);
   }
 
   res.parent.resize(n);
-  res.reached = 0;
-  for (VertexId v = 0; v < n; ++v) {
-    res.parent[v] = parent[v].load(std::memory_order_relaxed);
-    if (res.parent[v] != kInvalidVertex) ++res.reached;
-  }
+  res.reached = parallel_reduce<VertexId>(
+      0, n, 0,
+      [&](std::size_t v) {
+        res.parent[v] = parent[v].load(std::memory_order_relaxed);
+        return res.parent[v] != kInvalidVertex ? 1u : 0u;
+      },
+      [](VertexId a, VertexId b) { return a + b; }, eng.vertex_loop());
   res.rounds = round;
   return res;
 }

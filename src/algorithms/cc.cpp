@@ -35,13 +35,13 @@ CcResult connected_components(const Engine& eng) {
   int rounds = 0;
   while (!frontier.empty_set()) {
     AtomicBitset changed(n);
-    // Density heuristic mirrors edgemap: sparse push vs dense pull.
-    EdgeId work = frontier.size();
-    frontier.for_each([&](VertexId v) {
-      work += g.out_degree(v) + g.in_degree(v);
-    });
+    // Density heuristic mirrors edgemap: sparse push vs dense pull. CC
+    // propagates over both directions, so both cached degree sums count.
+    const EdgeId work = frontier.size() +
+                        frontier.out_edges(g, eng.vertex_loop()) +
+                        frontier.in_edges(g, eng.vertex_loop());
     if (work > eng.dense_threshold()) {
-      frontier.to_dense();
+      frontier.to_dense(eng.vertex_loop());
       const DynamicBitset& fbits = frontier.bits();
       auto process_range = [&](VertexId lo, VertexId hi) {
         for (VertexId v = lo; v < hi; ++v) {
@@ -79,7 +79,7 @@ CcResult connected_components(const Engine& eng) {
             eng.vertex_loop());
       }
     } else {
-      frontier.to_sparse();
+      frontier.to_sparse(eng.vertex_loop());
       auto ids = frontier.vertices();
       parallel_for(
           0, ids.size(),
@@ -93,10 +93,10 @@ CcResult connected_components(const Engine& eng) {
           },
           eng.vertex_loop());
     }
-    std::vector<VertexId> next;
-    for (VertexId v = 0; v < n; ++v)
-      if (changed.get(v)) next.push_back(v);
-    frontier = VertexSubset::from_sparse(n, std::move(next));
+    // Adopt the changed-bit words directly; the next round's heuristic
+    // and conversions are word-parallel from here.
+    frontier = VertexSubset::from_atomic(std::move(changed), kInvalidVertex,
+                                         eng.vertex_loop());
     ++rounds;
   }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "framework/edgemap.hpp"
+#include "parallel/scan_pack.hpp"
 #include "support/error.hpp"
 
 namespace vebo::algo {
@@ -35,7 +36,7 @@ PageRankDeltaResult pagerank_delta(const Engine& eng,
 
     // acc[v] = sum of contrib over active in-neighbors. Dense pull per
     // destination (single writer per v, race-free).
-    frontier.to_dense();
+    frontier.to_dense(eng.vertex_loop());
     const DynamicBitset& fbits = frontier.bits();
     auto pull_range = [&](VertexId lo, VertexId hi) {
       for (VertexId v = lo; v < hi; ++v) {
@@ -67,23 +68,32 @@ PageRankDeltaResult pagerank_delta(const Engine& eng,
     // than epsilon relative to its magnitude stay active. On the first
     // iteration the propagated delta is r_1 - r_0 (Ligra subtracts the
     // initial mass), which makes accumulated deltas match the power
-    // method exactly.
-    std::vector<VertexId> next;
-    for (VertexId v = 0; v < n; ++v) {
-      double d = opts.damping * acc[v];
-      if (it == 0) {
-        d += base - one_over_n;   // delta_1 = r_1 - r_0
-        rank[v] += d + one_over_n;  // rank becomes r_1
-      } else {
-        rank[v] += d;
-      }
-      delta[v] = d;
-      if (std::abs(d) > opts.epsilon * std::max(rank[v], one_over_n))
-        next.push_back(v);
-      else
-        delta[v] = 0.0;
-    }
-    frontier = VertexSubset::from_sparse(n, std::move(next));
+    // method exactly. The per-vertex update is independent, so it runs
+    // parallel; the surviving vertices are packed by scan compaction.
+    parallel_for(
+        0, n,
+        [&](std::size_t i) {
+          const VertexId v = static_cast<VertexId>(i);
+          double d = opts.damping * acc[v];
+          if (it == 0) {
+            d += base - one_over_n;     // delta_1 = r_1 - r_0
+            rank[v] += d + one_over_n;  // rank becomes r_1
+          } else {
+            rank[v] += d;
+          }
+          delta[v] =
+              std::abs(d) > opts.epsilon * std::max(rank[v], one_over_n)
+                  ? d
+                  : 0.0;
+        },
+        eng.vertex_loop());
+    frontier = VertexSubset::from_packed(
+        n,
+        pack_map<VertexId>(
+            n, [&](std::size_t v) { return delta[v] != 0.0; },
+            [&](std::size_t v) { return static_cast<VertexId>(v); },
+            eng.vertex_loop()),
+        /*sorted=*/true);
     res.iterations = it + 1;
   }
 

@@ -13,12 +13,33 @@
 // destination satisfying cond (pull). Partitioned engines (Polymer,
 // GraphGrind) run the pull phase partition-by-partition under static
 // scheduling — the configuration whose load balance VEBO fixes.
+//
+// Frontier materialization is fully parallel and output-sensitive
+// (pbbslib-style scan compaction):
+//  * Sparse push: an exclusive scan over frontier out-degrees assigns each
+//    source a slot range in an edge-indexed buffer; workers write the
+//    destinations they activate (first claim wins via an atomic bitset)
+//    compacted at the front of their own range and report the count; a
+//    second scan over the counts places each range's activations in the
+//    output. The claim bitset is engine-owned scratch, allocated once
+//    and cleared incrementally by the output list, so steady-state cost
+//    is O(edges(frontier)) — never O(n) — with no serial pass.
+//    If the output count is past the density threshold the claim bitset
+//    itself becomes the (dense) result and the copy-out is skipped.
+//  * Dense pull: the atomic destination bitset is adopted by the result
+//    subset word-for-word (no bit-at-a-time copy).
+// The offset scan doubles as the input frontier's out-degree sum, seeding
+// the cache VertexSubset::out_edges() keeps for the direction heuristic;
+// result frontiers fill that cache lazily on their first heuristic query.
 #pragma once
 
+#include <algorithm>
+#include <memory>
 #include <vector>
 
 #include "framework/engine.hpp"
 #include "framework/vertex_subset.hpp"
+#include "parallel/scan_pack.hpp"
 #include "support/bitset.hpp"
 
 namespace vebo {
@@ -31,17 +52,6 @@ struct EdgeMapOptions {
   /// cond(v) turns false (Ligra's early exit, e.g. BFS parent setting).
   bool pull_early_exit = true;
 };
-
-namespace detail {
-
-/// Sum of out-degrees of the frontier (sparse representation).
-inline EdgeId frontier_out_edges(const Graph& g, const VertexSubset& f) {
-  EdgeId sum = 0;
-  f.for_each([&](VertexId v) { sum += g.out_degree(v); });
-  return sum;
-}
-
-}  // namespace detail
 
 /// Dense (pull) edgemap over destination range [lo, hi).
 template <typename F>
@@ -66,31 +76,44 @@ VertexSubset edge_map(const Engine& eng, VertexSubset& frontier, F f,
                       const EdgeMapOptions& opts = {}) {
   const Graph& g = eng.graph();
   const VertexId n = g.num_vertices();
+  const ForOptions vloop = eng.vertex_loop();
+  if (frontier.empty_set()) return VertexSubset::empty(n);
+
+  // Per-source out-degree offsets for the push path. Filled at most once;
+  // when the frontier is already sparse the Auto heuristic fills it and
+  // its scan total doubles as the out-degree sum (one degree walk, not
+  // two).
+  std::vector<std::uint64_t> off;
+  std::uint64_t total = 0;
+  bool have_offsets = false;
+  auto compute_offsets = [&] {
+    auto ids = frontier.vertices();
+    off.resize(ids.size());
+    parallel_for(
+        0, ids.size(),
+        [&](std::size_t i) { off[i] = g.out_degree(ids[i]); }, vloop);
+    total = exclusive_scan(off.data(), off.data(), ids.size(), vloop);
+    frontier.set_out_edges(total);
+    have_offsets = true;
+  };
 
   bool pull;
   switch (opts.direction) {
     case Direction::Push: pull = false; break;
     case Direction::Pull: pull = true; break;
-    case Direction::Auto: {
+    case Direction::Auto:
       // |frontier| + |out-edges(frontier)| > m/20 -> dense.
-      EdgeId work = frontier.size();
-      if (frontier.is_dense()) {
-        // Dense frontiers are already past the threshold in practice;
-        // compute from bits without converting.
-        frontier.for_each([&](VertexId v) { work += g.out_degree(v); });
-      } else {
-        work += detail::frontier_out_edges(g, frontier);
-      }
-      pull = work > eng.dense_threshold();
+      if (!frontier.is_dense()) compute_offsets();
+      pull = frontier.size() + frontier.out_edges(g, vloop) >
+             eng.dense_threshold();
       break;
-    }
     default: pull = false; break;
   }
 
-  AtomicBitset next(n);
   if (pull) {
-    frontier.to_dense();
+    frontier.to_dense(vloop);
     const DynamicBitset& fbits = frontier.bits();
+    AtomicBitset next(n);
     if (eng.partitioned()) {
       // Partition-per-task static scheduling (Polymer/GraphGrind).
       const auto& part = eng.partitioning();
@@ -112,62 +135,116 @@ VertexSubset edge_map(const Engine& eng, VertexSubset& frontier, F f,
                                 static_cast<VertexId>(hi),
                                 opts.pull_early_exit);
           },
-          eng.vertex_loop());
+          vloop);
     }
-    DynamicBitset out(n);
-    for (VertexId v = 0; v < n; ++v)
-      if (next.get(v)) out.set(v);
-    return VertexSubset::from_bitset(std::move(out));
+    return VertexSubset::from_atomic(std::move(next), kInvalidVertex, vloop);
   }
 
-  // Sparse push.
-  frontier.to_sparse();
+  // Sparse push, scan-compacted: slot ranges from the offset scan, then
+  // a count scan places each range's activations in the output. No loop
+  // below runs over all n vertices and no pass is serial (the slot
+  // buffer is deliberately left uninitialized; only written prefixes of
+  // each range are read back).
+  frontier.to_sparse(vloop);
   auto ids = frontier.vertices();
+  const std::size_t fsz = ids.size();
+  if (!have_offsets) compute_offsets();
+  std::vector<std::uint64_t> cnt(fsz);
+
+  // Engine-owned scratch, reused across calls: the slot buffer grows to
+  // the largest out-degree total seen, and the claim bitset arrives
+  // all-zero (first borrow allocates) and is handed back all-zero below,
+  // so steady-state sparse steps do no n-dependent work. The lease
+  // throws if another edge_map already holds the scratch.
+  Engine::ScratchLease lease(eng);
+  VertexId* const slots = eng.slot_scratch(total);
+  AtomicBitset& claimed = eng.claim_scratch();
+  if (claimed.size() != static_cast<std::size_t>(n))
+    claimed = AtomicBitset(n);
   parallel_for(
-      0, ids.size(),
+      0, fsz,
       [&](std::size_t i) {
         const VertexId u = ids[i];
-        for (VertexId v : g.out_neighbors(u))
-          if (f.cond(v) && f.update_atomic(u, v)) next.set(v);
+        VertexId* slot = slots + off[i];
+        std::uint64_t c = 0;
+        for (const VertexId v : g.out_neighbors(u))
+          if (f.cond(v) && f.update_atomic(u, v) && claimed.set(v))
+            slot[c++] = v;
+        cnt[i] = c;
       },
-      eng.vertex_loop());
-  std::vector<VertexId> out;
-  for (VertexId v = 0; v < n; ++v)
-    if (next.get(v)) out.push_back(v);
-  return VertexSubset::from_sparse(n, std::move(out));
+      vloop);
+
+  std::vector<std::uint64_t> out_off(fsz);
+  const std::uint64_t out_total =
+      exclusive_scan(cnt.data(), out_off.data(), fsz, vloop);
+
+  if (out_total > eng.dense_vertex_threshold()) {
+    // Dense fallback: the claim bitset is exactly the output set, so
+    // adopt it and skip materializing the id list entirely. Moving the
+    // words out leaves the scratch empty; the next sparse step
+    // reallocates it (rare — dense rounds come in runs). The out-degree
+    // sum is filled lazily by the next heuristic query.
+    return VertexSubset::from_atomic(std::move(claimed),
+                                     static_cast<VertexId>(out_total), vloop);
+  }
+  std::vector<VertexId> out(out_total);
+  parallel_for(
+      0, fsz,
+      [&](std::size_t i) {
+        std::copy_n(slots + off[i], cnt[i], out.data() + out_off[i]);
+      },
+      vloop);
+  // Return the scratch all-zero by clearing exactly the bits this step
+  // set — O(|out|), not O(n).
+  parallel_for(
+      0, out.size(), [&](std::size_t i) { claimed.clear(out[i]); }, vloop);
+  return VertexSubset::from_packed(n, std::move(out), /*sorted=*/false);
 }
 
 /// Applies fn(v) to every member of the subset (parallel; fn must be safe
 /// to run concurrently on distinct vertices).
 template <typename Fn>
 void vertex_map(const Engine& eng, const VertexSubset& subset, Fn&& fn) {
-  if (subset.is_dense()) {
-    const DynamicBitset& bits = subset.bits();
-    parallel_for(
-        0, subset.universe_size(),
-        [&](std::size_t v) {
-          if (bits.get(static_cast<VertexId>(v)))
-            fn(static_cast<VertexId>(v));
-        },
-        eng.vertex_loop());
-  } else {
+  if (subset.has_sparse()) {
     auto ids = subset.vertices();
     parallel_for(
         0, ids.size(), [&](std::size_t i) { fn(ids[i]); },
         eng.vertex_loop());
+  } else {
+    // Word-parallel dense walk: zero words cost one test, not 64.
+    const DynamicBitset& bits = subset.bits();
+    parallel_for(
+        0, bits.num_words(),
+        [&](std::size_t w) {
+          detail::for_each_set_bit(bits.word(w), w * 64, [&](std::size_t i) {
+            fn(static_cast<VertexId>(i));
+          });
+        },
+        eng.vertex_loop());
   }
 }
 
-/// Keeps the members where pred(v) is true; returns a sparse subset.
+/// Keeps the members where pred(v) is true; returns a sparse subset
+/// (scan-compacted, parallel).
 template <typename Pred>
 VertexSubset vertex_filter(const Engine& eng, const VertexSubset& subset,
                            Pred&& pred) {
-  (void)eng;
-  std::vector<VertexId> out;
-  subset.for_each([&](VertexId v) {
-    if (pred(v)) out.push_back(v);
-  });
-  return VertexSubset::from_sparse(subset.universe_size(), std::move(out));
+  const ForOptions vloop = eng.vertex_loop();
+  const VertexId n = subset.universe_size();
+  if (subset.has_sparse()) {
+    auto ids = subset.vertices();
+    auto out = pack_map<VertexId>(
+        ids.size(), [&](std::size_t i) { return pred(ids[i]); },
+        [&](std::size_t i) { return ids[i]; }, vloop);
+    return VertexSubset::from_packed(n, std::move(out),
+                                     subset.sparse_sorted());
+  }
+  const DynamicBitset& bits = subset.bits();
+  auto out = pack_map<VertexId>(
+      n,
+      [&](std::size_t v) { return bits.get(v) && pred(static_cast<VertexId>(v)); },
+      [&](std::size_t v) { return static_cast<VertexId>(v); }, vloop);
+  return VertexSubset::from_packed(n, std::move(out), /*sorted=*/true);
 }
 
 }  // namespace vebo

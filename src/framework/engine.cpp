@@ -76,6 +76,13 @@ ForOptions Engine::partition_loop() const {
   return o;
 }
 
+Engine::ScratchLease::ScratchLease(const Engine& eng)
+    : busy_(&eng.scratch_busy_) {
+  VEBO_CHECK(!busy_->exchange(true, std::memory_order_acquire),
+             "edge_map scratch already in use: concurrent or reentrant "
+             "edge_map calls on one Engine are not supported");
+}
+
 const PartitionedCoo& Engine::partitioned_coo() const {
   VEBO_CHECK(partitioned(), "partitioned_coo requires a partitioned model");
   if (!coo_built_) {

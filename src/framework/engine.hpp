@@ -12,13 +12,16 @@
 //    traversal in Hilbert or CSR edge order.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <memory>
 #include <string>
 
 #include "framework/coo_iter.hpp"
 #include "graph/graph.hpp"
 #include "order/partition.hpp"
 #include "parallel/parallel_for.hpp"
+#include "support/bitset.hpp"
 
 namespace vebo {
 
@@ -66,9 +69,47 @@ class Engine {
     return graph_->num_edges() / opts_.dense_denominator;
   }
 
+  /// Output-size threshold above which a sparse push step returns its
+  /// result in the dense (bitset) representation.
+  VertexId dense_vertex_threshold() const {
+    return static_cast<VertexId>(graph_->num_vertices() /
+                                 opts_.dense_denominator);
+  }
+
   /// Lazily built partitioned COO in the engine's edge order (GraphGrind
   /// dense path; available for all models for benchmarking).
   const PartitionedCoo& partitioned_coo() const;
+
+  /// Reusable claim bitset for the sparse push path. edge_map borrows it
+  /// and returns it all-zero (clearing only the bits it set), so steady-
+  /// state sparse steps do no n-dependent allocation or clearing. Like
+  /// the rest of the engine, not safe for concurrent edge_map calls.
+  AtomicBitset& claim_scratch() const { return claim_scratch_; }
+
+  /// Grow-only uninitialized slot buffer for the sparse push path (sized
+  /// to the frontier's out-degree total), reused across edge_map calls
+  /// to avoid a large transient allocation per step.
+  VertexId* slot_scratch(std::size_t need) const {
+    if (need > slot_capacity_) {
+      slot_scratch_.reset(new VertexId[need]);
+      slot_capacity_ = need;
+    }
+    return slot_scratch_.get();
+  }
+
+  /// RAII borrow token enforcing the single-caller rule on the shared
+  /// scratch above: a second concurrent (or reentrant) borrower throws
+  /// instead of silently corrupting frontiers.
+  class ScratchLease {
+   public:
+    explicit ScratchLease(const Engine& eng);
+    ~ScratchLease() { busy_->store(false, std::memory_order_release); }
+    ScratchLease(const ScratchLease&) = delete;
+    ScratchLease& operator=(const ScratchLease&) = delete;
+
+   private:
+    std::atomic<bool>* busy_;
+  };
 
  private:
   const Graph* graph_;
@@ -78,6 +119,10 @@ class Engine {
   order::Partitioning part_;
   mutable PartitionedCoo coo_;  // lazy
   mutable bool coo_built_ = false;
+  mutable AtomicBitset claim_scratch_;  // lazy, see claim_scratch()
+  mutable std::unique_ptr<VertexId[]> slot_scratch_;  // see slot_scratch()
+  mutable std::size_t slot_capacity_ = 0;
+  mutable std::atomic<bool> scratch_busy_{false};  // see ScratchLease
 };
 
 }  // namespace vebo

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "graph/graph.hpp"
+#include "parallel/parallel_for.hpp"
 #include "support/error.hpp"
 
 namespace vebo {
@@ -25,6 +27,8 @@ VertexSubset VertexSubset::all(VertexId n) {
   VertexSubset s;
   s.n_ = n;
   s.dense_ = true;
+  s.have_sparse_ = false;
+  s.have_dense_ = true;
   s.bits_ = DynamicBitset(n, true);
   s.size_ = n;
   return s;
@@ -43,47 +47,132 @@ VertexSubset VertexSubset::from_sparse(VertexId n,
   return s;
 }
 
-VertexSubset VertexSubset::from_bitset(DynamicBitset bits) {
+VertexSubset VertexSubset::from_packed(VertexId n, std::vector<VertexId> ids,
+                                       bool sorted) {
+  VertexSubset s;
+  s.n_ = n;
+  s.dense_ = false;
+  s.sparse_sorted_ = sorted;
+  s.size_ = static_cast<VertexId>(ids.size());
+  s.sparse_ = std::move(ids);
+  return s;
+}
+
+VertexSubset VertexSubset::from_bitset(DynamicBitset bits,
+                                       const ForOptions& opts) {
   VertexSubset s;
   s.n_ = static_cast<VertexId>(bits.size());
   s.dense_ = true;
-  s.size_ = static_cast<VertexId>(bits.count());
+  s.have_sparse_ = false;
+  s.have_dense_ = true;
+  s.size_ = static_cast<VertexId>(bits.count_parallel(opts));
   s.bits_ = std::move(bits);
   return s;
 }
 
-bool VertexSubset::contains(VertexId v) const {
-  if (dense_) return bits_.get(v);
-  return std::binary_search(sparse_.begin(), sparse_.end(), v);
+VertexSubset VertexSubset::from_atomic(AtomicBitset&& bits,
+                                       VertexId size_hint,
+                                       const ForOptions& opts) {
+  const std::size_t n = bits.size();
+  DynamicBitset adopted(n, std::move(bits).take_words());
+  VertexSubset s;
+  s.n_ = static_cast<VertexId>(n);
+  s.dense_ = true;
+  s.have_sparse_ = false;
+  s.have_dense_ = true;
+  s.size_ = size_hint != kInvalidVertex
+                ? size_hint
+                : static_cast<VertexId>(adopted.count_parallel(opts));
+  s.bits_ = std::move(adopted);
+  return s;
 }
 
-void VertexSubset::to_dense() {
-  if (dense_) return;
-  bits_ = DynamicBitset(n_);
-  for (VertexId v : sparse_) bits_.set(v);
-  sparse_.clear();
-  sparse_.shrink_to_fit();
+bool VertexSubset::contains(VertexId v) const {
+  if (have_dense_) return bits_.get(v);
+  if (sparse_sorted_)
+    return std::binary_search(sparse_.begin(), sparse_.end(), v);
+  return std::find(sparse_.begin(), sparse_.end(), v) != sparse_.end();
+}
+
+void VertexSubset::to_dense(const ForOptions& opts) {
+  if (have_dense_) {
+    dense_ = true;
+    return;
+  }
+  if (bits_.size() != n_)
+    bits_ = DynamicBitset(n_);
+  else
+    bits_.reset();
+  parallel_for(
+      0, sparse_.size(),
+      [&](std::size_t i) { bits_.set_atomic(sparse_[i]); }, opts);
+  have_dense_ = true;
   dense_ = true;
 }
 
-void VertexSubset::to_sparse() {
-  if (!dense_) return;
-  sparse_.clear();
-  sparse_.reserve(size_);
-  for (VertexId v = 0; v < n_; ++v)
-    if (bits_.get(v)) sparse_.push_back(v);
-  bits_ = DynamicBitset();
+void VertexSubset::to_sparse(const ForOptions& opts) {
+  if (have_sparse_) {
+    dense_ = false;
+    return;
+  }
+  sparse_ = bits_.to_sparse_parallel<VertexId>(opts);
+  sparse_sorted_ = true;
+  have_sparse_ = true;
   dense_ = false;
 }
 
 std::span<const VertexId> VertexSubset::vertices() const {
-  VEBO_CHECK(!dense_, "vertices() requires sparse representation");
+  VEBO_CHECK(have_sparse_, "vertices() requires a sparse representation");
   return sparse_;
 }
 
 const DynamicBitset& VertexSubset::bits() const {
-  VEBO_CHECK(dense_, "bits() requires dense representation");
+  VEBO_CHECK(have_dense_, "bits() requires a dense representation");
   return bits_;
+}
+
+namespace {
+
+/// Sum of degree(v) over the subset's members, dispatching on whichever
+/// representation is available (sparse id walk or dense word walk).
+template <typename DegreeFn>
+EdgeId member_degree_sum(const std::vector<VertexId>& sparse, bool use_sparse,
+                         const DynamicBitset& bits, DegreeFn&& degree,
+                         const ForOptions& opts) {
+  if (use_sparse) {
+    return parallel_reduce<EdgeId>(
+        0, sparse.size(), 0,
+        [&](std::size_t i) { return degree(sparse[i]); },
+        [](EdgeId a, EdgeId b) { return a + b; }, opts);
+  }
+  return parallel_reduce<EdgeId>(
+      0, bits.num_words(), 0,
+      [&](std::size_t w) {
+        EdgeId s = 0;
+        detail::for_each_set_bit(bits.word(w), w * 64, [&](std::size_t i) {
+          s += degree(static_cast<VertexId>(i));
+        });
+        return s;
+      },
+      [](EdgeId a, EdgeId b) { return a + b; }, opts);
+}
+
+}  // namespace
+
+EdgeId VertexSubset::out_edges(const Graph& g, const ForOptions& opts) const {
+  if (out_edges_ == kInvalidEdgeCount)
+    out_edges_ = member_degree_sum(
+        sparse_, have_sparse_, bits_,
+        [&](VertexId v) { return g.out_degree(v); }, opts);
+  return out_edges_;
+}
+
+EdgeId VertexSubset::in_edges(const Graph& g, const ForOptions& opts) const {
+  if (in_edges_ == kInvalidEdgeCount)
+    in_edges_ = member_degree_sum(
+        sparse_, have_sparse_, bits_,
+        [&](VertexId v) { return g.in_degree(v); }, opts);
+  return in_edges_;
 }
 
 }  // namespace vebo
