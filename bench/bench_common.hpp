@@ -22,14 +22,20 @@
 
 namespace vebo::bench {
 
-/// Scale knob for all benches: VEBO_BENCH_SCALE env var (default 0.25).
-inline double bench_scale() {
-  if (const char* env = std::getenv("VEBO_BENCH_SCALE")) {
-    const double v = std::atof(env);
-    if (v > 0.0) return v;
+/// Reads a positive numeric env knob; returns `def` when unset or when
+/// the value is not positive after conversion to T (so "0.5" cannot
+/// truncate an integer knob to 0).
+template <typename T>
+T env_knob(const char* name, T def) {
+  if (const char* env = std::getenv(name)) {
+    const T v = static_cast<T>(std::atof(env));
+    if (v > T{0}) return v;
   }
-  return 0.25;
+  return def;
 }
+
+/// Scale knob for all benches: VEBO_BENCH_SCALE env var (default 0.25).
+inline double bench_scale() { return env_knob("VEBO_BENCH_SCALE", 0.25); }
 
 /// The paper's machine shape used by the makespan models.
 inline constexpr std::size_t kPaperSockets = 4;

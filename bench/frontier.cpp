@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "framework/edgemap.hpp"
 #include "framework/engine.hpp"
 #include "gen/rmat.hpp"
@@ -28,14 +29,6 @@
 using namespace vebo;
 
 namespace {
-
-int env_int(const char* name, int def) {
-  if (const char* env = std::getenv(name)) {
-    const int v = std::atoi(env);
-    if (v > 0) return v;
-  }
-  return def;
-}
 
 /// Delivers every active edge; activates every touched destination.
 /// Stateless, so repeated timing runs see identical work.
@@ -91,8 +84,8 @@ struct Point {
 }  // namespace
 
 int main() {
-  const int scale = env_int("VEBO_FRONTIER_SCALE", 20);
-  const int reps = env_int("VEBO_FRONTIER_REPS", 5);
+  const int scale = bench::env_knob("VEBO_FRONTIER_SCALE", 20);
+  const int reps = bench::env_knob("VEBO_FRONTIER_REPS", 5);
   const EdgeId edge_factor = 8;
 
   std::cout << "Building rmat graph, scale=" << scale << " ..." << std::endl;

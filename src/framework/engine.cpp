@@ -27,15 +27,28 @@ VertexId default_partitions(SystemModel m) {
 Engine::Engine(const Graph& g, SystemModel model, EngineOptions opts)
     : graph_(&g), model_(model), opts_(opts) {
   VEBO_CHECK(opts_.dense_denominator >= 1, "dense_denominator must be >= 1");
-  if (opts_.explicit_partitioning != nullptr) {
-    part_ = *opts_.explicit_partitioning;
+  rebind(g, opts_.explicit_partitioning);
+}
+
+void Engine::rebind(const Graph& g, const order::Partitioning* part) {
+  VEBO_CHECK(!scratch_busy_.load(std::memory_order_acquire),
+             "rebind during an active edge_map");
+  graph_ = &g;
+  coo_ = {};
+  coo_built_ = false;
+  // Keep options() consistent with the engine's actual partitioning:
+  // after a rebind the stored pointer either names the partitioning in
+  // use or is cleared.
+  opts_.explicit_partitioning = part;
+  if (part != nullptr) {
+    part_ = *part;
     partitions_ = part_.num_partitions();
     VEBO_CHECK(part_.boundaries.back() == g.num_vertices(),
                "explicit partitioning does not cover the vertex set");
     return;
   }
   partitions_ = opts_.partitions ? opts_.partitions
-                                 : default_partitions(model);
+                                 : default_partitions(model_);
   if (partitions_ > 0) {
     // Never more partitions than vertices.
     partitions_ = std::min<VertexId>(partitions_, g.num_vertices());

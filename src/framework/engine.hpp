@@ -54,6 +54,14 @@ class Engine {
   SystemModel model() const { return model_; }
   const EngineOptions& options() const { return opts_; }
 
+  /// Rebinds the engine to a new version of the graph (a streaming
+  /// snapshot) without discarding the reusable edge_map scratch (the claim
+  /// bitset self-heals on vertex-count changes and the slot buffer is
+  /// grow-only, so the PR-1 frontier invariants carry over). Pass the
+  /// partitioning maintained for the new version — or nullptr to re-derive
+  /// the engine's default partitioning for the model.
+  void rebind(const Graph& g, const order::Partitioning* part = nullptr);
+
   bool partitioned() const { return partitions_ > 0; }
   VertexId num_partitions() const { return partitions_; }
   const order::Partitioning& partitioning() const { return part_; }

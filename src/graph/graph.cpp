@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "support/error.hpp"
+
 namespace vebo {
 
 Graph Graph::from_edges(EdgeList el) {
@@ -13,6 +15,26 @@ Graph Graph::from_edges(EdgeList el) {
   g.out_ = Csr::build(el, /*by_destination=*/false);
   g.in_ = Csr::build(el, /*by_destination=*/true);
   g.coo_ = std::move(el);
+  return g;
+}
+
+Graph Graph::from_parts(Csr out, Csr in, EdgeList coo, bool directed) {
+  VEBO_CHECK(out.num_vertices() == in.num_vertices(),
+             "from_parts: CSR/CSC vertex counts disagree");
+  VEBO_CHECK(out.num_vertices() == coo.num_vertices(),
+             "from_parts: COO vertex count disagrees with CSR");
+  VEBO_CHECK(out.num_edges() == in.num_edges(),
+             "from_parts: CSR/CSC edge counts disagree");
+  VEBO_CHECK(out.num_edges() == coo.num_edges(),
+             "from_parts: COO edge count disagrees with CSR");
+  VEBO_CHECK(coo.is_sorted_by_source(), "from_parts: COO not sorted by source");
+  Graph g;
+  g.n_ = out.num_vertices();
+  g.m_ = out.num_edges();
+  g.directed_ = directed;
+  g.out_ = std::move(out);
+  g.in_ = std::move(in);
+  g.coo_ = std::move(coo);
   return g;
 }
 

@@ -20,6 +20,14 @@ class Graph {
   /// retained (sorted by source) for COO traversal.
   static Graph from_edges(EdgeList el);
 
+  /// Builds a Graph from already-compacted parts without re-sorting: an
+  /// out-CSR, the matching in-CSC, and the COO (sorted by source). This is
+  /// the streaming snapshot hook — DeltaGraph::snapshot() merges its delta
+  /// blocks directly into CSR/CSC rows and hands them over here. Checks
+  /// cheap structural consistency (vertex counts, edge counts, COO sort
+  /// order); full row-content agreement is the caller's contract.
+  static Graph from_parts(Csr out, Csr in, EdgeList coo, bool directed);
+
   VertexId num_vertices() const { return n_; }
   EdgeId num_edges() const { return m_; }
   bool directed() const { return directed_; }

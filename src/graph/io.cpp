@@ -11,7 +11,15 @@ namespace vebo::io {
 
 namespace {
 constexpr std::uint64_t kBinaryMagic = 0x5645424f47524148ULL;  // "VEBOGRAH"
+// Version 1 was the seed's unversioned header (magic directly followed by
+// n); version 2 added this explicit field. Bump on any layout change.
+constexpr std::uint32_t kBinaryVersion = 2;
 
+}  // namespace
+
+std::uint32_t binary_format_version() { return kBinaryVersion; }
+
+namespace {
 Graph graph_from_csr_rows(VertexId n, const std::vector<EdgeId>& offsets,
                           const std::vector<VertexId>& targets,
                           bool directed) {
@@ -104,6 +112,7 @@ void write_binary_file(const std::string& path, const Graph& g) {
   const std::uint64_t n = g.num_vertices(), m = g.num_edges();
   const std::uint8_t dir = g.directed() ? 1 : 0;
   put(&kBinaryMagic, sizeof kBinaryMagic);
+  put(&kBinaryVersion, sizeof kBinaryVersion);
   put(&n, sizeof n);
   put(&m, sizeof m);
   put(&dir, sizeof dir);
@@ -123,12 +132,37 @@ Graph read_binary_file(const std::string& path) {
                "truncated binary graph: " + path);
   };
   std::uint64_t magic = 0, n = 0, m = 0;
+  std::uint32_t version = 0;
   std::uint8_t dir = 1;
   get(&magic, sizeof magic);
   VEBO_CHECK(magic == kBinaryMagic, "bad magic in binary graph: " + path);
+  get(&version, sizeof version);
+  VEBO_CHECK(version == kBinaryVersion,
+             "unsupported binary graph version " + std::to_string(version) +
+                 " (expected " + std::to_string(kBinaryVersion) +
+                 "): " + path);
   get(&n, sizeof n);
   get(&m, sizeof m);
   get(&dir, sizeof dir);
+  // A pre-version (v1) file can alias the version field (its n's low 32
+  // bits), shifting every later read. The exact payload size the header
+  // implies catches that — and any truncation — before allocating.
+  VEBO_CHECK(n <= kInvalidVertex, "vertex count out of range: " + path);
+  is.seekg(0, std::ios::end);
+  const auto file_size = static_cast<std::uint64_t>(is.tellg());
+  // Bound m before the multiply below so a crafted huge m cannot wrap
+  // `expected` around and dodge the size check.
+  VEBO_CHECK(m <= file_size / sizeof(VertexId),
+             "edge count implausible for file size: " + path);
+  const std::uint64_t expected = sizeof kBinaryMagic + sizeof version +
+                                 sizeof n + sizeof m + sizeof dir +
+                                 (n + 1) * sizeof(EdgeId) +
+                                 m * sizeof(VertexId);
+  VEBO_CHECK(file_size == expected,
+             "binary graph size mismatch (truncated or legacy format): " +
+                 path);
+  is.seekg(sizeof kBinaryMagic + sizeof version + sizeof n + sizeof m +
+           sizeof dir);
   std::vector<EdgeId> offsets(n + 1);
   std::vector<VertexId> targets(m);
   get(offsets.data(), offsets.size() * sizeof(EdgeId));

@@ -28,7 +28,13 @@ void write_edge_list(std::ostream& os, const Graph& g);
 /// comments (SNAP style). Vertex count is 1 + max id unless `n` > 0.
 EdgeList read_edge_list(std::istream& is, VertexId n = 0);
 
-/// Binary format (magic, n, m, directed, offsets, targets of the out-CSR).
+/// Binary format with a versioned header:
+///   magic (u64), version (u32), n (u64), m (u64), directed (u8),
+///   offsets (n+1 x u64), targets (m x u32)  — the out-CSR.
+/// Readers reject bad magic, unsupported versions, and truncation with
+/// vebo::Error, so streamed snapshots can be persisted and reloaded
+/// safely. `binary_format_version()` is the version written.
+std::uint32_t binary_format_version();
 void write_binary_file(const std::string& path, const Graph& g);
 Graph read_binary_file(const std::string& path);
 

@@ -117,6 +117,139 @@ Graph vebo_reorder(const Graph& g, VertexId P, const VeboOptions& opts) {
   return permute(g, vebo(g, P, opts).perm);
 }
 
+VeboResult vebo_refine(const std::vector<EdgeId>& old_in_degree,
+                       const std::vector<EdgeId>& in_degree,
+                       const VeboResult& prev,
+                       std::span<const VertexId> dirty) {
+  const VertexId old_n = static_cast<VertexId>(prev.perm.size());
+  const VertexId n = static_cast<VertexId>(in_degree.size());
+  const VertexId P = prev.num_partitions();
+  VEBO_CHECK(P >= 1, "vebo_refine: previous result has no partitions");
+  VEBO_CHECK(old_in_degree.size() == prev.perm.size(),
+             "vebo_refine: old degree array size mismatch");
+  VEBO_CHECK(n >= old_n, "vebo_refine: vertex set shrank");
+
+  // Current partition of every old vertex, derived from the previous
+  // permutation (partitions are contiguous id ranges in the new space).
+  std::vector<VertexId> assign(n, kInvalidVertex);
+  for (VertexId v = 0; v < old_n; ++v)
+    assign[v] = prev.partitioning.owner(prev.perm[v]);
+
+  // Dirty set = caller's list (deduped) plus all new vertices.
+  std::vector<bool> is_dirty(n, false);
+  std::vector<VertexId> work;
+  work.reserve(dirty.size() + (n - old_n));
+  for (VertexId v : dirty) {
+    VEBO_CHECK(v < n, "vebo_refine: dirty vertex out of range");
+    if (!is_dirty[v]) {
+      is_dirty[v] = true;
+      work.push_back(v);
+    }
+  }
+  for (VertexId v = old_n; v < n; ++v)
+    if (!is_dirty[v]) {
+      is_dirty[v] = true;
+      work.push_back(v);
+    }
+
+  // Remove dirty old vertices from their partitions at their *old* weight.
+  std::vector<EdgeId> w = prev.part_edges;
+  std::vector<VertexId> u = prev.part_vertices;
+  for (VertexId v : work)
+    if (v < old_n) {
+      w[assign[v]] -= old_in_degree[v];
+      --u[assign[v]];
+    }
+
+  // Re-place in decreasing current degree (ties: ascending id, matching
+  // the stability of the full run's counting sort).
+  std::sort(work.begin(), work.end(), [&](VertexId a, VertexId b) {
+    if (in_degree[a] != in_degree[b]) return in_degree[a] > in_degree[b];
+    return a < b;
+  });
+  std::size_t nz = work.size();
+  while (nz > 0 && in_degree[work[nz - 1]] == 0) --nz;
+  {
+    IndexedMinHeap<4> heap(P);
+    for (VertexId p = 0; p < P; ++p) heap.update(p, w[p]);
+    for (std::size_t t = 0; t < nz; ++t) {
+      const VertexId v = work[t];
+      const auto p = heap.top();
+      assign[v] = static_cast<VertexId>(p);
+      heap.increase(p, in_degree[v]);
+      w[p] += in_degree[v];
+      ++u[p];
+    }
+  }
+  {
+    IndexedMinHeap<4> heap(P);
+    for (VertexId p = 0; p < P; ++p) heap.update(p, u[p]);
+    for (std::size_t t = nz; t < work.size(); ++t) {
+      const VertexId v = work[t];
+      const auto p = heap.top();
+      assign[v] = static_cast<VertexId>(p);
+      heap.increase(p, 1);
+      ++u[p];
+    }
+  }
+
+  // Vertex-count repair: the edge-weight placement above can leave
+  // partitions short on vertices (full VEBO equalizes vertex counts with
+  // its zero-degree phase over the whole graph). Shuffle zero-degree
+  // vertices — free with respect to edge balance — from overfull to
+  // underfull partitions until δ <= 1 or no movable vertex remains; moved
+  // vertices join the re-placed set for renumbering.
+  {
+    std::vector<std::vector<VertexId>> zeros(P);
+    for (VertexId v = 0; v < n; ++v)
+      if (in_degree[v] == 0) zeros[assign[v]].push_back(v);
+    while (true) {
+      VertexId pmin = 0, pdonor = P;
+      for (VertexId p = 1; p < P; ++p)
+        if (u[p] < u[pmin]) pmin = p;
+      for (VertexId p = 0; p < P; ++p)
+        if (!zeros[p].empty() && u[p] > u[pmin] + 1 &&
+            (pdonor == P || u[p] > u[pdonor]))
+          pdonor = p;
+      if (pdonor == P) break;
+      const VertexId v = zeros[pdonor].back();
+      zeros[pdonor].pop_back();
+      assign[v] = pmin;
+      zeros[pmin].push_back(v);
+      --u[pdonor];
+      ++u[pmin];
+      if (!is_dirty[v]) {
+        is_dirty[v] = true;
+        work.push_back(v);
+      }
+    }
+  }
+
+  // Renumber: non-dirty vertices keep their previous relative order within
+  // each partition; re-placed vertices follow in placement order.
+  VeboResult res;
+  res.part_vertices = u;
+  res.part_edges = w;
+  res.partitioning = partition_from_counts(u);
+  res.perm.assign(n, kInvalidVertex);
+  std::vector<VertexId> cursor(P);
+  for (VertexId p = 0; p < P; ++p) cursor[p] = res.partitioning.begin(p);
+  {
+    // Old vertices in previous position order.
+    std::vector<VertexId> at_pos(old_n, kInvalidVertex);
+    for (VertexId v = 0; v < old_n; ++v) at_pos[prev.perm[v]] = v;
+    for (VertexId pos = 0; pos < old_n; ++pos) {
+      const VertexId v = at_pos[pos];
+      if (v != kInvalidVertex && !is_dirty[v])
+        res.perm[v] = cursor[assign[v]]++;
+    }
+  }
+  for (VertexId v : work) res.perm[v] = cursor[assign[v]]++;
+  for (VertexId p = 0; p < P; ++p)
+    VEBO_ASSERT(cursor[p] == res.partitioning.end(p));
+  return res;
+}
+
 std::vector<PlacementStep> vebo_placement_trace(
     const std::vector<EdgeId>& in_degree, VertexId P) {
   VEBO_CHECK(P >= 1, "vebo_placement_trace: P must be >= 1");

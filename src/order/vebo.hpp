@@ -15,6 +15,7 @@
 // variant.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -54,6 +55,23 @@ VeboResult vebo(const Graph& g, VertexId P, const VeboOptions& opts = {});
 
 /// Convenience: VEBO-reordered copy of the graph.
 Graph vebo_reorder(const Graph& g, VertexId P, const VeboOptions& opts = {});
+
+/// Incremental refinement of a previous VEBO result after degree drift
+/// (the streaming subsystem's rebalance step). Only the vertices listed in
+/// `dirty` — plus any new vertices beyond `prev.perm.size()` — are
+/// re-placed: each is first removed from its partition (using its degree
+/// in `old_in_degree`, the sequence `prev` was built from), then placed
+/// onto the currently least-loaded partition in decreasing-degree order
+/// (zero-degree vertices onto the fewest-vertices partition, mirroring
+/// phases 1-2 of Algorithm 2). Placement costs O(|dirty| log(|dirty|·P));
+/// the contiguous renumbering is O(n) and keeps every non-dirty vertex in
+/// its previous relative order, so partition-interior locality survives.
+/// Unlike the full run, degrees within a partition are no longer strictly
+/// decreasing — balance bounds are what the refinement maintains.
+VeboResult vebo_refine(const std::vector<EdgeId>& old_in_degree,
+                       const std::vector<EdgeId>& in_degree,
+                       const VeboResult& prev,
+                       std::span<const VertexId> dirty);
 
 /// One step of the phase-1 placement trace (used to validate Lemma 1).
 struct PlacementStep {

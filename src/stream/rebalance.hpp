@@ -1,0 +1,110 @@
+// VeboMaintainer: keeps a VEBO ordering healthy while the graph mutates.
+//
+// The maintainer tracks per-partition vertex/edge loads against the
+// current `order::Partitioning` as batches change in-degrees (the paper's
+// balance objective is over in-edges of destination partitions). Drift is
+// measured with the same Δ/δ imbalance measures `metrics/balance` reports
+// (a PartitionProfile over the tracked loads), compared against bounds
+// proportional to the per-partition averages. When a bound is exceeded the
+// maintainer first tries `order::vebo_refine` — re-placing only the
+// vertices whose degree actually changed, least-loaded-first — and falls
+// back to a full `order::vebo_from_degrees` re-run when the dirty fraction
+// passes `full_rebuild_fraction` or the refinement cannot restore the
+// bounds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "metrics/balance.hpp"
+#include "order/vebo.hpp"
+#include "stream/delta_graph.hpp"
+#include "stream/update.hpp"
+
+namespace vebo::stream {
+
+struct RebalanceOptions {
+  /// Number of VEBO partitions maintained (Polymer's default NUMA count).
+  VertexId partitions = 4;
+  /// Rebalance when Δ (max-min partition in-edges) has drifted more than
+  /// `edge_drift * m / P` (at least 1) past the Δ the last rebalance
+  /// achieved. Relative-to-achieved, not absolute: a graph whose degree
+  /// distribution makes a small Δ unattainable (one hub holding more
+  /// than a bound's worth of in-edges) must not rebalance every batch.
+  double edge_drift = 0.10;
+  /// Same for δ (max-min partition vertices) with `vertex_drift * n / P`.
+  double vertex_drift = 0.10;
+  /// Past this dirty-vertex fraction, skip refinement and re-run full
+  /// VEBO — the incremental path no longer saves work.
+  double full_rebuild_fraction = 0.25;
+  /// Options forwarded to full VEBO runs.
+  order::VeboOptions vebo;
+};
+
+enum class RebalanceAction { None, Incremental, Full };
+
+struct RebalanceStats {
+  std::uint64_t batches_observed = 0;
+  std::uint64_t incremental = 0;  ///< refinements adopted
+  std::uint64_t full = 0;         ///< full re-runs (excluding construction)
+  EdgeId last_edge_imbalance = 0;
+  VertexId last_vertex_imbalance = 0;
+};
+
+class VeboMaintainer {
+ public:
+  /// Builds the initial ordering with a full VEBO run over `g`.
+  explicit VeboMaintainer(const DeltaGraph& g, RebalanceOptions opts = {});
+
+  /// Folds one applied batch into the tracked per-partition loads and the
+  /// dirty set. O(changed vertices).
+  void observe(const ApplyResult& applied);
+
+  /// Checks drift and rebalances if needed. Returns what was done.
+  RebalanceAction maybe_rebalance(const DeltaGraph& g);
+
+  /// True iff the tracked loads have drifted more than a bound past the
+  /// last rebalance's achieved imbalance (or new vertices await
+  /// placement).
+  bool drifted(const DeltaGraph& g) const;
+
+  /// Current ordering; `ordering().perm` maps graph ids to positions and
+  /// `partitioning()` is contiguous in the reordered id space.
+  const order::VeboResult& ordering() const { return current_; }
+  const order::Partitioning& partitioning() const {
+    return current_.partitioning;
+  }
+
+  /// Tracked imbalances (also refreshed into stats by maybe_rebalance).
+  EdgeId edge_imbalance() const;
+  VertexId vertex_imbalance() const;
+  EdgeId edge_bound(const DeltaGraph& g) const;
+  VertexId vertex_bound(const DeltaGraph& g) const;
+
+  std::size_t dirty_count() const { return dirty_.size(); }
+  const RebalanceStats& stats() const { return stats_; }
+
+ private:
+  metrics::PartitionProfile tracked_profile() const;
+  void adopt(order::VeboResult next, const DeltaGraph& g);
+  void run_full(const DeltaGraph& g);
+
+  RebalanceOptions opts_;
+  order::VeboResult current_;
+  /// In-degree sequence `current_` was balanced against (old weights for
+  /// vebo_refine's removal step).
+  std::vector<EdgeId> degrees_at_build_;
+  /// Live per-partition in-edge loads (part_edges + observed deltas).
+  std::vector<EdgeId> live_edges_;
+  /// Imbalances achieved by the last adopted (re)balance — the baseline
+  /// the drift bounds are measured against.
+  EdgeId base_edge_imb_ = 0;
+  VertexId base_vertex_imb_ = 0;
+  /// Vertices (placed ones) whose in-degree changed since the last
+  /// rebalance.
+  std::vector<VertexId> dirty_;
+  std::vector<bool> dirty_mark_;
+  RebalanceStats stats_;
+};
+
+}  // namespace vebo::stream

@@ -1,0 +1,67 @@
+#include "stream/session.hpp"
+
+#include "graph/permute.hpp"
+#include "support/error.hpp"
+
+namespace vebo::stream {
+
+StreamSession::StreamSession(const Graph& initial, SessionOptions opts)
+    : opts_(opts), delta_(initial), maintainer_(delta_, opts.rebalance) {}
+
+StreamSession::BatchOutcome StreamSession::apply(
+    std::span<const EdgeUpdate> batch) {
+  BatchOutcome out;
+  out.applied = delta_.apply_batch(batch);
+  ++stats_.batches;
+  stats_.inserted += out.applied.inserted;
+  stats_.removed += out.applied.removed;
+
+  maintainer_.observe(out.applied);
+  out.rebalance = maintainer_.maybe_rebalance(delta_);
+
+  if (out.applied.inserted > 0 || out.applied.removed > 0 ||
+      out.applied.grew_vertices > 0)
+    stale_ = true;
+
+  if (opts_.compact_fraction > 0 && delta_.num_edges() > 0 &&
+      static_cast<double>(delta_.delta_edges()) >
+          opts_.compact_fraction * static_cast<double>(delta_.num_edges())) {
+    delta_.compact();
+    ++stats_.compactions;
+  }
+  return out;
+}
+
+void StreamSession::refresh() {
+  if (!stale_ && snap_ != nullptr) return;
+  // Snapshot in original ids, then relabel by the maintained ordering so
+  // the engine sees VEBO-contiguous partitions.
+  snap_ = std::make_unique<Graph>(
+      permute(delta_.snapshot(), maintainer_.ordering().perm));
+  ++stats_.snapshots;
+  const order::Partitioning* part =
+      opts_.model == SystemModel::Ligra ? nullptr
+                                        : &maintainer_.partitioning();
+  if (engine_ == nullptr) {
+    EngineOptions eopts;
+    eopts.explicit_partitioning = part;
+    engine_ = std::make_unique<Engine>(*snap_, opts_.model, eopts);
+  } else {
+    engine_->rebind(*snap_, part);
+  }
+  stale_ = false;
+}
+
+const Graph& StreamSession::snapshot() {
+  refresh();
+  return *snap_;
+}
+
+double StreamSession::query(const std::string& algo_code, VertexId source) {
+  refresh();
+  VEBO_CHECK(source < delta_.num_vertices(), "query: source out of range");
+  ++stats_.queries;
+  return algo::algorithm(algo_code).run(*engine_, position_of(source));
+}
+
+}  // namespace vebo::stream

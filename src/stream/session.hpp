@@ -1,0 +1,84 @@
+// StreamSession: the streaming driver that interleaves edge-update batches
+// with algorithm queries — the paper-faithful way to show VEBO's static
+// scheduling staying competitive while the graph mutates.
+//
+// Each session owns the mutable DeltaGraph, the incremental VEBO
+// maintainer, and a cached query context (reordered snapshot + Engine).
+// `apply` ingests a batch, folds its degree deltas into the maintainer,
+// and rebalances if the drift bounds are exceeded. `query` runs any
+// registry algorithm (BFS/CC/PR/...) over the current version: the first
+// query after a mutation compacts a snapshot, applies the maintained VEBO
+// permutation, and rebinds the engine (keeping its edge_map scratch);
+// subsequent queries reuse the cached context untouched.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "algorithms/registry.hpp"
+#include "framework/engine.hpp"
+#include "stream/delta_graph.hpp"
+#include "stream/rebalance.hpp"
+
+namespace vebo::stream {
+
+struct SessionOptions {
+  /// System model queries run under (Ligra skips the partitioning).
+  SystemModel model = SystemModel::Polymer;
+  RebalanceOptions rebalance;
+  /// Fold delta blocks into a fresh base once pending deltas exceed this
+  /// fraction of the live edge count (0 disables auto-compaction).
+  double compact_fraction = 0.5;
+};
+
+struct SessionStats {
+  std::uint64_t batches = 0;
+  EdgeId inserted = 0;
+  EdgeId removed = 0;
+  std::uint64_t queries = 0;
+  std::uint64_t snapshots = 0;    ///< snapshot+reorder rebuilds
+  std::uint64_t compactions = 0;  ///< DeltaGraph base rebuilds
+};
+
+class StreamSession {
+ public:
+  explicit StreamSession(const Graph& initial, SessionOptions opts = {});
+
+  /// Applies one batch and maintains the ordering. Returns what changed
+  /// plus the rebalance action taken.
+  struct BatchOutcome {
+    ApplyResult applied;
+    RebalanceAction rebalance = RebalanceAction::None;
+  };
+  BatchOutcome apply(std::span<const EdgeUpdate> batch);
+
+  /// Runs a registry algorithm (code per Table II: "BFS", "CC", "PR", ...)
+  /// on the current graph version; `source` is in original vertex ids.
+  double query(const std::string& algo_code, VertexId source = 0);
+
+  /// Reordered snapshot of the current version (built lazily).
+  const Graph& snapshot();
+
+  /// Position of original vertex v in the maintained ordering.
+  VertexId position_of(VertexId v) const {
+    return maintainer_.ordering().perm[v];
+  }
+
+  const DeltaGraph& delta() const { return delta_; }
+  const VeboMaintainer& maintainer() const { return maintainer_; }
+  const SessionStats& stats() const { return stats_; }
+
+ private:
+  void refresh();
+
+  SessionOptions opts_;
+  DeltaGraph delta_;
+  VeboMaintainer maintainer_;
+  std::unique_ptr<Graph> snap_;     ///< reordered snapshot cache
+  std::unique_ptr<Engine> engine_;  ///< engine bound to *snap_
+  bool stale_ = true;
+  SessionStats stats_;
+};
+
+}  // namespace vebo::stream
