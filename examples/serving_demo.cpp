@@ -1,0 +1,132 @@
+// Serving demo: one writer streaming follow/unfollow batches into a
+// social graph while 8 clients hammer the read path with registry
+// queries — the mixed workload the serving subsystem (PR 3) exists for.
+//
+// The writer owns a StreamSession (single-writer discipline) and
+// publishes an epoch into the SnapshotStore after every batch; clients
+// submit through the GraphService and see explicit backpressure if they
+// outrun the queue. Prints per-epoch progress, then aggregate
+// throughput, latency percentiles, cache effectiveness, and the
+// snapshot-reclamation accounting.
+//
+//   ./example_serving_demo [batches=12] [batch_size=2000] [clients=8]
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "gen/datasets.hpp"
+#include "serve/graph_service.hpp"
+#include "stream/session.hpp"
+#include "support/prng.hpp"
+
+using namespace vebo;
+using serve::GraphService;
+using serve::GraphServiceOptions;
+using serve::Query;
+using serve::SnapshotStore;
+using serve::SubmitStatus;
+using stream::EdgeUpdate;
+
+int main(int argc, char** argv) {
+  const int batches = argc > 1 ? std::atoi(argv[1]) : 12;
+  const int batch_size = argc > 2 ? std::atoi(argv[2]) : 2000;
+  const int clients = argc > 3 ? std::atoi(argv[3]) : 8;
+
+  const Graph start = gen::make_dataset("orkut", 0.25, /*seed=*/7);
+  std::cout << start.describe("start") << "\n";
+  const VertexId n = start.num_vertices();
+
+  stream::SessionOptions sopts;
+  sopts.model = SystemModel::Polymer;
+  sopts.rebalance.edge_drift = 0.05;
+  stream::StreamSession session(start, sopts);
+
+  SnapshotStore store;
+  GraphServiceOptions opts;
+  opts.workers = 4;
+  opts.queue_capacity = 128;
+  opts.engine.model = SystemModel::Polymer;
+  GraphService service(store, opts);
+  service.publish_session(session);
+
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> answered{0};
+  std::atomic<std::uint64_t> backpressured{0};
+
+  // The writer: rmat-style skewed arrivals, publish after every batch.
+  std::thread writer([&] {
+    Xoshiro256 rng(2026);
+    for (int b = 0; b < batches; ++b) {
+      std::vector<EdgeUpdate> batch;
+      const VertexId hot = static_cast<VertexId>((b * 131) % n);
+      for (int i = 0; i < batch_size; ++i) {
+        const auto src = static_cast<VertexId>(rng.next_below(n));
+        const VertexId dst =
+            rng.next_below(4) == 0
+                ? static_cast<VertexId>(rng.next_below(n))
+                : (hot + static_cast<VertexId>(rng.next_below(64))) % n;
+        batch.push_back(rng.next_below(12) == 0
+                            ? EdgeUpdate::remove(src, dst)
+                            : EdgeUpdate::insert(src, dst));
+      }
+      const auto out = session.apply(batch);
+      const std::uint64_t v = service.publish_session(session);
+      std::cout << "[writer] epoch " << v << ": +" << out.applied.inserted
+                << " -" << out.applied.removed
+                << " edges, |E|=" << session.delta().num_edges() << "\n";
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  // The clients: closed-loop mixed registry traffic over a hot key set.
+  std::vector<std::thread> pool;
+  Timer wall;
+  for (int c = 0; c < clients; ++c) {
+    pool.emplace_back([&, c] {
+      static const char* kAlgos[] = {"BFS", "CC", "PR", "PRD"};
+      Xoshiro256 rng(100 + static_cast<std::uint64_t>(c));
+      while (!done.load(std::memory_order_acquire)) {
+        Query q;
+        q.algo = kAlgos[rng.next_below(4)];
+        q.source = static_cast<VertexId>(rng.next_below(16));
+        auto sub = service.submit(q);
+        if (!sub.accepted()) {
+          // Explicit backpressure: shed and retry later.
+          backpressured.fetch_add(1);
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          continue;
+        }
+        sub.result.get();
+        answered.fetch_add(1);
+      }
+    });
+  }
+
+  writer.join();
+  for (auto& t : pool) t.join();
+  const double secs = wall.elapsed();
+  service.stop();
+
+  const auto stats = service.stats();
+  const auto lat = service.latency();
+  const auto snaps = store.stats();
+  std::cout << "\n=== " << clients << " clients, " << batches
+            << " epochs ===\n"
+            << "throughput:   " << static_cast<double>(answered.load()) / secs
+            << " queries/s (" << answered.load() << " answered)\n"
+            << "latency:      p50=" << lat.p50_ms << "ms p95=" << lat.p95_ms
+            << "ms p99=" << lat.p99_ms << "ms\n"
+            << "cache:        "
+            << 100.0 * static_cast<double>(stats.cache_hits) /
+                   static_cast<double>(std::max<std::uint64_t>(
+                       1, stats.completed))
+            << "% hits, " << stats.invalidations << " invalidations\n"
+            << "backpressure: " << backpressured.load() << " rejections\n"
+            << "snapshots:    " << snaps.published << " published, "
+            << snaps.reclaimed << " reclaimed, " << snaps.live << " live\n"
+            << "engines:      " << service.engine_pool().size()
+            << " pooled contexts\n";
+  return 0;
+}

@@ -1,5 +1,7 @@
 #include "algorithms/registry.hpp"
 
+#include <unordered_map>
+
 #include "algorithms/bc.hpp"
 #include "algorithms/bellman_ford.hpp"
 #include "algorithms/bfs.hpp"
@@ -54,10 +56,32 @@ const std::vector<AlgorithmInfo>& algorithms() {
   return algos;
 }
 
+const AlgorithmInfo* find_algorithm(std::string_view code) {
+  // Index built once under the magic-static lock; lookups afterwards are
+  // lock-free reads of an immutable map. Keys are string_views into the
+  // (equally immutable) algorithms() entries.
+  static const std::unordered_map<std::string_view, const AlgorithmInfo*>
+      index = [] {
+        std::unordered_map<std::string_view, const AlgorithmInfo*> m;
+        for (const auto& a : algorithms()) m.emplace(a.code, &a);
+        return m;
+      }();
+  const auto it = index.find(code);
+  return it == index.end() ? nullptr : it->second;
+}
+
 const AlgorithmInfo& algorithm(const std::string& code) {
-  for (const auto& a : algorithms())
-    if (a.code == code) return a;
+  if (const AlgorithmInfo* a = find_algorithm(code)) return *a;
   throw Error("unknown algorithm code: " + code);
+}
+
+const std::vector<std::string>& algorithm_codes() {
+  static const std::vector<std::string> codes = [] {
+    std::vector<std::string> c;
+    for (const auto& a : algorithms()) c.push_back(a.code);
+    return c;
+  }();
+  return codes;
 }
 
 }  // namespace vebo::algo

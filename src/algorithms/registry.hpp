@@ -1,10 +1,16 @@
 // Name-indexed registry of the 8 evaluation algorithms so benchmarks can
 // sweep "all algorithms x all graphs x all orderings" exactly like the
 // paper's Table III.
+//
+// Thread-safety: the tables are immutable after their C++11 magic-static
+// initialization, so every accessor below may be called concurrently with
+// no locking — GraphService workers resolve algorithms by name on the
+// query hot path.
 #pragma once
 
 #include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "framework/engine.hpp"
@@ -24,7 +30,17 @@ struct AlgorithmInfo {
 /// All 8 algorithms in the paper's order.
 const std::vector<AlgorithmInfo>& algorithms();
 
+/// Hash-indexed lookup by code; returns nullptr on unknown code (no
+/// throw on a miss — the form services use to reject bad query names
+/// cheaply). Not noexcept: the first call builds the index and may
+/// propagate bad_alloc like any other allocation.
+const AlgorithmInfo* find_algorithm(std::string_view code);
+
 /// Lookup by code; throws vebo::Error on unknown code.
 const AlgorithmInfo& algorithm(const std::string& code);
+
+/// The registered codes, in the paper's order (for demos and services
+/// enumerating their query surface).
+const std::vector<std::string>& algorithm_codes();
 
 }  // namespace vebo::algo

@@ -34,8 +34,11 @@ void Engine::rebind(const Graph& g, const order::Partitioning* part) {
   VEBO_CHECK(!scratch_busy_.load(std::memory_order_acquire),
              "rebind during an active edge_map");
   graph_ = &g;
+  // rebind requires quiescence (checked above for edge_map; concurrent
+  // partitioned_coo is part of the same contract), so a plain store is
+  // enough to reset the lazy COO.
   coo_ = {};
-  coo_built_ = false;
+  coo_built_.store(false, std::memory_order_release);
   // Keep options() consistent with the engine's actual partitioning:
   // after a rebind the stored pointer either names the partitioning in
   // use or is cleared.
@@ -98,9 +101,15 @@ Engine::ScratchLease::ScratchLease(const Engine& eng)
 
 const PartitionedCoo& Engine::partitioned_coo() const {
   VEBO_CHECK(partitioned(), "partitioned_coo requires a partitioned model");
-  if (!coo_built_) {
-    coo_ = build_partitioned_coo(*graph_, part_, opts_.edge_order);
-    coo_built_ = true;
+  // Double-checked lazy build: two threads sharing one engine for
+  // read-only traversal must not double-build or observe a half-built
+  // COO. The release store pairs with the acquire load.
+  if (!coo_built_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lk(coo_mutex_);
+    if (!coo_built_.load(std::memory_order_relaxed)) {
+      coo_ = build_partitioned_coo(*graph_, part_, opts_.edge_order);
+      coo_built_.store(true, std::memory_order_release);
+    }
   }
   return coo_;
 }

@@ -15,6 +15,7 @@
 #include <atomic>
 #include <cstddef>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "framework/coo_iter.hpp"
@@ -46,6 +47,13 @@ struct EngineOptions {
   ThreadPool* pool = nullptr;
 };
 
+// Thread-safety: the read-only surface (graph(), partitioning(),
+// vertex_loop(), thresholds, partitioned_coo()) is safe to call from
+// multiple threads on one engine; the lazy COO build is synchronized.
+// edge_map scratch stays single-caller (ScratchLease throws on a second
+// concurrent borrower) — concurrent queries need one engine each, which
+// is what serve::EnginePool provides. rebind() requires quiescence: no
+// concurrent edge_map and no concurrent partitioned_coo().
 class Engine {
  public:
   Engine(const Graph& g, SystemModel model, EngineOptions opts = {});
@@ -85,7 +93,9 @@ class Engine {
   }
 
   /// Lazily built partitioned COO in the engine's edge order (GraphGrind
-  /// dense path; available for all models for benchmarking).
+  /// dense path; available for all models for benchmarking). Safe to call
+  /// concurrently: the first caller builds under a lock, later callers
+  /// take the acquire-published result lock-free.
   const PartitionedCoo& partitioned_coo() const;
 
   /// Reusable claim bitset for the sparse push path. edge_map borrows it
@@ -125,8 +135,11 @@ class Engine {
   EngineOptions opts_;
   VertexId partitions_ = 0;
   order::Partitioning part_;
-  mutable PartitionedCoo coo_;  // lazy
-  mutable bool coo_built_ = false;
+  mutable PartitionedCoo coo_;  // lazy, guarded below
+  /// Release-published by the builder, acquire-loaded on the fast path;
+  /// coo_mutex_ serializes the one-time build (double-checked locking).
+  mutable std::atomic<bool> coo_built_{false};
+  mutable std::mutex coo_mutex_;
   mutable AtomicBitset claim_scratch_;  // lazy, see claim_scratch()
   mutable std::unique_ptr<VertexId[]> slot_scratch_;  // see slot_scratch()
   mutable std::size_t slot_capacity_ = 0;

@@ -4,6 +4,21 @@
 
 namespace vebo {
 
+namespace {
+// Pool whose region the current thread is executing inside (as caller-
+// worker-0 or as a pool thread). Used to turn nested run_on_all calls on
+// the same pool into serial execution instead of a region-mutex deadlock.
+thread_local ThreadPool* t_inside_pool = nullptr;
+
+struct InsideGuard {
+  ThreadPool* prev;
+  explicit InsideGuard(ThreadPool* p) : prev(t_inside_pool) {
+    t_inside_pool = p;
+  }
+  ~InsideGuard() { t_inside_pool = prev; }
+};
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::thread::hardware_concurrency();
@@ -25,10 +40,23 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::run_on_all(const std::function<void(std::size_t)>& fn) {
+  // Nested call from inside one of this pool's own regions: the workers
+  // are busy (or we *are* one), so run every worker id serially on this
+  // thread. All schedules in parallel_for_impl are correct under this
+  // (static blocks each get visited; dynamic/guided drain on id 0).
+  if (t_inside_pool == this) {
+    for (std::size_t i = 0; i < num_threads(); ++i) fn(i);
+    return;
+  }
   if (workers_.empty()) {
+    InsideGuard g(this);
     fn(0);
     return;
   }
+  // One region at a time: concurrent callers (e.g. several GraphService
+  // workers whose queries reach the same pool) queue here instead of
+  // clobbering the shared job slot.
+  std::lock_guard<std::mutex> region(region_mutex_);
   {
     std::lock_guard<std::mutex> lk(mutex_);
     job_ = &fn;
@@ -39,6 +67,7 @@ void ThreadPool::run_on_all(const std::function<void(std::size_t)>& fn) {
   cv_start_.notify_all();
   // The caller acts as worker 0.
   try {
+    InsideGuard g(this);
     fn(0);
   } catch (...) {
     std::lock_guard<std::mutex> lk(mutex_);
@@ -64,6 +93,7 @@ void ThreadPool::worker_loop(std::size_t id) {
       job = job_;
     }
     try {
+      InsideGuard g(this);
       (*job)(id);
     } catch (...) {
       std::lock_guard<std::mutex> lk(mutex_);

@@ -5,6 +5,16 @@
 //  * pthreads (Polymer)    -> static block scheduling on this pool
 // The pool keeps threads alive across parallel regions so per-region cost
 // is a wake/notify, not thread creation.
+//
+// Concurrency contract (the serving subsystem depends on this):
+//  * run_on_all may be called from any thread; concurrent callers are
+//    serialized, one region at a time, by an internal region mutex.
+//  * A nested call — run_on_all on a pool from inside one of that same
+//    pool's regions — degrades to serial execution of fn(0..num_threads-1)
+//    on the calling thread instead of deadlocking on the region mutex.
+//  * Distinct pools are fully independent; a worker of pool A may drive a
+//    region on pool B (the serving engine pool gives each engine context
+//    its own pool for exactly this).
 #pragma once
 
 #include <condition_variable>
@@ -30,10 +40,12 @@ class ThreadPool {
   /// Runs `fn(worker_id)` once on every worker (ids 0..num_threads-1,
   /// id 0 executes on the calling thread) and blocks until all complete.
   /// Exceptions thrown by workers are rethrown on the caller (first one).
+  /// Concurrent callers serialize; nested calls run serially (see header
+  /// comment).
   void run_on_all(const std::function<void(std::size_t)>& fn);
 
   /// Process-wide default pool, sized by VEBO_THREADS env var or hardware
-  /// concurrency. Safe to use from main thread only (no nesting).
+  /// concurrency. Callable from any thread (regions serialize).
   static ThreadPool& global();
 
   /// Number of threads the global pool uses (for reporting).
@@ -43,6 +55,9 @@ class ThreadPool {
   void worker_loop(std::size_t id);
 
   std::vector<std::thread> workers_;
+  /// Held for the whole of a region: serializes concurrent run_on_all
+  /// callers. `mutex_` below stays the fine-grained job/wakeup lock.
+  std::mutex region_mutex_;
   std::mutex mutex_;
   std::condition_variable cv_start_;
   std::condition_variable cv_done_;

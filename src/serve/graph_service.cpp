@@ -1,0 +1,250 @@
+#include "serve/graph_service.hpp"
+
+#include <algorithm>
+
+#include "algorithms/registry.hpp"
+#include "support/error.hpp"
+
+namespace vebo::serve {
+
+const char* to_string(SubmitStatus s) {
+  switch (s) {
+    case SubmitStatus::Accepted: return "accepted";
+    case SubmitStatus::QueueFull: return "queue-full";
+    case SubmitStatus::Stopped: return "stopped";
+  }
+  return "?";
+}
+
+namespace {
+std::string cache_key(const Query& q) {
+  return q.algo + '|' + std::to_string(q.source);
+}
+}  // namespace
+
+GraphService::GraphService(SnapshotStore& store, GraphServiceOptions opts)
+    : store_(store),
+      opts_(opts),
+      pool_([&] {
+        EnginePoolOptions eopts = opts.engine;
+        // A worker must always be able to lease an engine, else a full
+        // pool could park every worker and starve the queue.
+        eopts.max_engines = std::max(eopts.max_engines, opts.workers);
+        return eopts;
+      }()) {
+  VEBO_CHECK(opts_.workers >= 1, "GraphService: workers must be >= 1");
+  VEBO_CHECK(opts_.queue_capacity >= 1,
+             "GraphService: queue_capacity must be >= 1");
+  workers_.reserve(opts_.workers);
+  for (std::size_t i = 0; i < opts_.workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+GraphService::~GraphService() { stop(); }
+
+Submission GraphService::submit(Query q) {
+  Submission sub;
+  Item item;
+  item.q = std::move(q);
+  sub.result = item.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lk(queue_mutex_);
+    if (stopping_) {
+      sub.status = SubmitStatus::Stopped;
+    } else if (queue_.size() >= opts_.queue_capacity) {
+      // Explicit backpressure: the caller sees the rejection immediately
+      // instead of blocking inside the service.
+      sub.status = SubmitStatus::QueueFull;
+    } else {
+      sub.status = SubmitStatus::Accepted;
+      queue_.push_back(std::move(item));
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lk(stats_mutex_);
+    ++stats_.submitted;
+    if (sub.status != SubmitStatus::Accepted) ++stats_.rejected;
+  }
+  if (sub.status == SubmitStatus::Accepted) {
+    queue_cv_.notify_one();
+  } else {
+    sub.result = {};  // rejected submissions carry no future
+  }
+  return sub;
+}
+
+QueryResult GraphService::query(Query q) {
+  Submission sub = submit(std::move(q));
+  if (!sub.accepted())
+    throw Error(std::string("GraphService: query rejected (") +
+                to_string(sub.status) + ")");
+  return sub.result.get();
+}
+
+std::uint64_t GraphService::publish(
+    std::shared_ptr<const Graph> graph, order::Partitioning partitioning,
+    std::shared_ptr<const Permutation> perm) {
+  const std::uint64_t v =
+      store_.publish(std::move(graph), std::move(partitioning),
+                     std::move(perm));
+  invalidate_cache();
+  return v;
+}
+
+std::uint64_t GraphService::publish_session(stream::StreamSession& session) {
+  // shared_snapshot() refreshes on the calling (writer) thread, so all
+  // snapshot+reorder cost lands here, never on a reader.
+  std::shared_ptr<const Graph> snap = session.shared_snapshot();
+  auto perm = std::make_shared<const Permutation>(
+      session.maintainer().ordering().perm);
+  return publish(std::move(snap), session.maintainer().partitioning(),
+                 std::move(perm));
+}
+
+void GraphService::stop() {
+  std::lock_guard<std::mutex> stop_lk(stop_mutex_);
+  {
+    std::lock_guard<std::mutex> lk(queue_mutex_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+  workers_.clear();
+}
+
+void GraphService::worker_loop() {
+  for (;;) {
+    Item item;
+    {
+      std::unique_lock<std::mutex> lk(queue_mutex_);
+      queue_cv_.wait(lk, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ && drained
+      item = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    process(item);
+  }
+}
+
+void GraphService::process(Item& item) {
+  try {
+    QueryResult r;
+    const SnapshotRef snap = store_.acquire();
+    if (!snap)
+      throw Error("GraphService: no snapshot published yet");
+    const algo::AlgorithmInfo* a = algo::find_algorithm(item.q.algo);
+    if (a == nullptr)
+      throw Error("GraphService: unknown algorithm code: " + item.q.algo);
+    VertexId source = item.q.source;
+    if (const Permutation* perm = snap.perm()) {
+      VEBO_CHECK(source < static_cast<VertexId>(perm->size()),
+                 "GraphService: source out of range");
+      source = (*perm)[source];
+    }
+    VEBO_CHECK(source < snap.graph().num_vertices(),
+               "GraphService: source out of range");
+    r.version = snap.version();
+
+    const std::string key = cache_key(item.q);
+    bool hit = false;
+    if (opts_.enable_cache) {
+      std::lock_guard<std::mutex> lk(cache_mutex_);
+      if (cache_version_ == snap.version()) {
+        const auto it = cache_.find(key);
+        if (it != cache_.end()) {
+          r.value = it->second;
+          hit = true;
+        }
+      }
+    }
+    if (!hit) {
+      EnginePool::Lease lease = pool_.lease(snap);
+      r.value = a->run(lease.engine(), source);
+      lease.release();
+      if (opts_.enable_cache) {
+        std::lock_guard<std::mutex> lk(cache_mutex_);
+        if (cache_version_ != snap.version()) {
+          // First entry for a new epoch (or a publish raced us): start a
+          // fresh cache generation. An older-epoch result is simply not
+          // cached — snap.version() < cache_version_ must never
+          // resurrect entries for a superseded graph.
+          if (cache_version_ < snap.version()) {
+            cache_.clear();
+            cache_version_ = snap.version();
+            cache_.emplace(key, r.value);
+          }
+        } else {
+          if (cache_.size() >= opts_.cache_capacity) {
+            cache_.clear();  // wholesale eviction; counted below
+            std::lock_guard<std::mutex> slk(stats_mutex_);
+            ++stats_.invalidations;
+          }
+          cache_.emplace(key, r.value);
+        }
+      }
+    }
+    r.cache_hit = hit;
+    r.latency_ms = item.submitted.elapsed_ms();
+    record(r.latency_ms);
+    {
+      std::lock_guard<std::mutex> lk(stats_mutex_);
+      ++stats_.completed;
+      if (hit) ++stats_.cache_hits;
+    }
+    item.promise.set_value(r);
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lk(stats_mutex_);
+      ++stats_.failed;
+    }
+    item.promise.set_exception(std::current_exception());
+  }
+}
+
+void GraphService::invalidate_cache() {
+  std::lock_guard<std::mutex> lk(cache_mutex_);
+  if (!cache_.empty()) {
+    cache_.clear();
+    std::lock_guard<std::mutex> slk(stats_mutex_);
+    ++stats_.invalidations;
+  }
+  // Leave cache_version_ behind the store version; the next miss brings
+  // the generation forward.
+}
+
+void GraphService::record(double latency_ms) {
+  // Log-bucketed microseconds (~6% resolution, bounded bin count — a
+  // one-off multi-second outlier must not balloon the histogram). 0
+  // rounds up to 1us so the p50 of all-cache-hit workloads is not
+  // reported as exactly zero.
+  const auto us = static_cast<std::uint64_t>(
+      std::max(1.0, latency_ms * 1000.0));
+  std::lock_guard<std::mutex> lk(stats_mutex_);
+  latency_buckets_.add(log_bucket(us));
+  latency_sum_ms_ += latency_ms;
+}
+
+GraphServiceStats GraphService::stats() const {
+  std::lock_guard<std::mutex> lk(stats_mutex_);
+  return stats_;
+}
+
+LatencySummary GraphService::latency() const {
+  std::lock_guard<std::mutex> lk(stats_mutex_);
+  LatencySummary s;
+  s.samples = latency_buckets_.total();
+  if (s.samples == 0) return s;
+  s.p50_ms = static_cast<double>(
+                 log_bucket_floor(latency_buckets_.value_at_quantile(0.50))) /
+             1e3;
+  s.p95_ms = static_cast<double>(
+                 log_bucket_floor(latency_buckets_.value_at_quantile(0.95))) /
+             1e3;
+  s.p99_ms = static_cast<double>(
+                 log_bucket_floor(latency_buckets_.value_at_quantile(0.99))) /
+             1e3;
+  s.mean_ms = latency_sum_ms_ / static_cast<double>(s.samples);
+  return s;
+}
+
+}  // namespace vebo::serve

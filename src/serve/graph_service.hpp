@@ -1,0 +1,182 @@
+// GraphService: a multi-client query-serving front end over the snapshot
+// store and engine pool — the subsystem that turns the single-caller
+// framework into a concurrent read path.
+//
+// Topology:
+//
+//   writer thread                         client threads (any number)
+//   ─────────────                         ──────────────────────────
+//   StreamSession::apply(batch)           service.submit({algo, src})
+//        │                                     │        future<QueryResult>
+//        ▼                                     ▼
+//   publish_session() ──► SnapshotStore   bounded MPMC queue ──► workers
+//        (new epoch,       (epoch refs)        │ (explicit rejection
+//         cache cleared)        ▲              │  when full — never
+//                               └── acquire ───┘  silent blocking)
+//                                    │
+//                             EnginePool::lease (per-query engine,
+//                             rebind-on-version-change, PR-1 scratch kept)
+//
+// Admission control: in-flight work is bounded by `workers` executing
+// queries plus `queue_capacity` waiting ones. A submit that finds the
+// queue full is rejected with SubmitStatus::QueueFull so callers see
+// backpressure explicitly and can shed or retry — the queue never blocks
+// a client.
+//
+// Results are futures. Each completed query reports the epoch version it
+// ran on, its submit-to-completion latency (recorded into a histogram;
+// p50/p95/p99 via latency()), and whether it was served from the
+// version-keyed result cache. The cache holds results for the current
+// epoch only and is invalidated on publish — a cached value can never
+// outlive the graph state it was computed on.
+//
+// Query.source is in ORIGINAL vertex ids when the published snapshot
+// carries a permutation (publish_session attaches the maintained VEBO
+// ordering); otherwise it names a vertex of the snapshot directly.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/permute.hpp"
+#include "serve/engine_pool.hpp"
+#include "serve/snapshot_store.hpp"
+#include "stream/session.hpp"
+#include "support/histogram.hpp"
+#include "support/timer.hpp"
+
+namespace vebo::serve {
+
+struct GraphServiceOptions {
+  /// Worker threads executing queries (= max concurrently running).
+  std::size_t workers = 4;
+  /// Pending-query bound; submits beyond it are rejected (backpressure).
+  std::size_t queue_capacity = 64;
+  /// Engine pool configuration. max_engines is raised to `workers` if
+  /// smaller so no worker can deadlock waiting for an engine.
+  EnginePoolOptions engine;
+  /// Version-keyed result cache over (algo, source) for the current
+  /// epoch. Sized in entries; cleared wholesale on publish or overflow.
+  bool enable_cache = true;
+  std::size_t cache_capacity = 4096;
+};
+
+struct Query {
+  std::string algo;      ///< registry code: "BFS", "CC", "PR", ...
+  VertexId source = 0;   ///< see header comment for the id space
+};
+
+struct QueryResult {
+  double value = 0;            ///< the algorithm's checksum
+  std::uint64_t version = 0;   ///< epoch the query ran on
+  bool cache_hit = false;
+  double latency_ms = 0;       ///< submit -> completion, queue wait included
+};
+
+enum class SubmitStatus : std::uint8_t { Accepted, QueueFull, Stopped };
+const char* to_string(SubmitStatus s);
+
+struct Submission {
+  SubmitStatus status = SubmitStatus::Stopped;
+  std::future<QueryResult> result;  ///< valid iff accepted()
+  bool accepted() const { return status == SubmitStatus::Accepted; }
+};
+
+struct GraphServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t rejected = 0;   ///< backpressure rejections
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;     ///< completed exceptionally
+  std::uint64_t cache_hits = 0;
+  std::uint64_t invalidations = 0;  ///< cache wipes (publish or overflow)
+};
+
+struct LatencySummary {
+  std::uint64_t samples = 0;
+  double p50_ms = 0, p95_ms = 0, p99_ms = 0, mean_ms = 0;
+};
+
+class GraphService {
+ public:
+  /// The store is shared infrastructure (writer publishes into it, other
+  /// services may read it) and must outlive the service.
+  explicit GraphService(SnapshotStore& store, GraphServiceOptions opts = {});
+  ~GraphService();
+
+  GraphService(const GraphService&) = delete;
+  GraphService& operator=(const GraphService&) = delete;
+
+  /// Non-blocking admission. Rejections carry no future.
+  Submission submit(Query q);
+
+  /// Convenience: submit and wait; throws vebo::Error on rejection and
+  /// rethrows query failures.
+  QueryResult query(Query q);
+
+  /// Publishes a new epoch into the store and invalidates the result
+  /// cache. `perm` (optional) maps original ids -> snapshot positions so
+  /// clients keep addressing vertices by original id.
+  std::uint64_t publish(std::shared_ptr<const Graph> graph,
+                        order::Partitioning partitioning,
+                        std::shared_ptr<const Permutation> perm = nullptr);
+
+  /// Publishes the session's current version: reordered shared snapshot,
+  /// maintained partitioning, and the VEBO permutation. Writer-thread
+  /// API (same thread that calls session.apply()).
+  std::uint64_t publish_session(stream::StreamSession& session);
+
+  /// Stops accepting work, drains the queue, joins the workers. Idempotent;
+  /// also run by the destructor.
+  void stop();
+
+  GraphServiceStats stats() const;
+  LatencySummary latency() const;
+  const SnapshotStore& store() const { return store_; }
+  const EnginePool& engine_pool() const { return pool_; }
+
+ private:
+  struct Item {
+    Query q;
+    std::promise<QueryResult> promise;
+    Timer submitted;
+  };
+
+  void worker_loop();
+  void process(Item& item);
+  void invalidate_cache();
+  void record(double latency_ms);
+
+  SnapshotStore& store_;
+  GraphServiceOptions opts_;
+  EnginePool pool_;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Item> queue_;
+  bool stopping_ = false;
+  std::mutex stop_mutex_;  ///< serializes stop() callers (idempotence)
+  std::vector<std::thread> workers_;
+
+  /// Single-epoch result cache: entries are valid for `cache_version_`
+  /// only. Lookups that observe a newer epoch clear it lazily, so even a
+  /// publish bypassing this service (straight into the store) cannot
+  /// cause a stale hit.
+  mutable std::mutex cache_mutex_;
+  std::uint64_t cache_version_ = 0;
+  std::unordered_map<std::string, double> cache_;
+
+  mutable std::mutex stats_mutex_;
+  GraphServiceStats stats_;
+  /// Histogram over log_bucket(latency in us) — bounded bin count.
+  Histogram latency_buckets_;
+  double latency_sum_ms_ = 0;
+};
+
+}  // namespace vebo::serve

@@ -1,0 +1,66 @@
+#include "serve/snapshot_store.hpp"
+
+#include "support/error.hpp"
+
+namespace vebo::serve {
+
+std::uint64_t SnapshotStore::publish(std::shared_ptr<const Graph> graph,
+                                     order::Partitioning partitioning,
+                                     std::shared_ptr<const Permutation> perm) {
+  VEBO_CHECK(graph != nullptr, "publish: null graph");
+  VEBO_CHECK(partitioning.boundaries.empty() ||
+                 partitioning.boundaries.back() == graph->num_vertices(),
+             "publish: partitioning does not cover the vertex set");
+  VEBO_CHECK(perm == nullptr ||
+                 perm->size() == static_cast<std::size_t>(
+                                     graph->num_vertices()),
+             "publish: permutation size does not match the vertex set");
+
+  // All allocation and snapshot assembly happens before the lock; the
+  // critical section is a pointer swap. Versions are drawn from their own
+  // counter so racing publishers get distinct epochs.
+  const std::uint64_t v =
+      next_version_.fetch_add(1, std::memory_order_relaxed) + 1;
+  auto counters = counters_;
+  counters->published.fetch_add(1, std::memory_order_relaxed);
+  std::shared_ptr<const Snapshot> next(
+      new Snapshot{std::move(graph), std::move(partitioning), v,
+                   std::move(perm)},
+      [counters](const Snapshot* s) {
+        counters->reclaimed.fetch_add(1, std::memory_order_relaxed);
+        delete s;
+      });
+
+  std::shared_ptr<const Snapshot> prev;  // destroyed outside the lock
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    if (v > version_.load(std::memory_order_relaxed)) {
+      prev = std::move(current_);
+      current_ = std::move(next);
+      version_.store(v, std::memory_order_release);
+    } else {
+      // A racing publisher already installed a newer epoch; this one is
+      // superseded on arrival (single-writer topologies never hit this).
+      prev = std::move(next);
+    }
+  }
+  return v;
+}
+
+SnapshotRef SnapshotStore::acquire() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return SnapshotRef(current_);
+}
+
+SnapshotStoreStats SnapshotStore::stats() const {
+  SnapshotStoreStats s;
+  // Read reclaimed first: it can never exceed a subsequently-read
+  // published (a snapshot is published before it can be reclaimed), so
+  // live cannot underflow when a publish+reclaim races the two loads.
+  s.reclaimed = counters_->reclaimed.load(std::memory_order_acquire);
+  s.published = counters_->published.load(std::memory_order_acquire);
+  s.live = s.published - s.reclaimed;
+  return s;
+}
+
+}  // namespace vebo::serve

@@ -36,7 +36,7 @@ void StreamSession::refresh() {
   if (!stale_ && snap_ != nullptr) return;
   // Snapshot in original ids, then relabel by the maintained ordering so
   // the engine sees VEBO-contiguous partitions.
-  snap_ = std::make_unique<Graph>(
+  snap_ = std::make_shared<const Graph>(
       permute(delta_.snapshot(), maintainer_.ordering().perm));
   ++stats_.snapshots;
   const order::Partitioning* part =
@@ -55,6 +55,11 @@ void StreamSession::refresh() {
 const Graph& StreamSession::snapshot() {
   refresh();
   return *snap_;
+}
+
+std::shared_ptr<const Graph> StreamSession::shared_snapshot() {
+  refresh();
+  return snap_;
 }
 
 double StreamSession::query(const std::string& algo_code, VertexId source) {

@@ -10,6 +10,13 @@
 // query after a mutation compacts a snapshot, applies the maintained VEBO
 // permutation, and rebinds the engine (keeping its edge_map scratch);
 // subsequent queries reuse the cached context untouched.
+//
+// A session is single-writer: apply/query/snapshot must come from one
+// thread. The serving subsystem's writer thread owns a session and hands
+// versioned snapshots to concurrent readers through serve::SnapshotStore
+// (see shared_snapshot(), which exists for that publication path — the
+// shared_ptr keeps a published graph alive after the session moves on to
+// newer versions).
 #pragma once
 
 #include <memory>
@@ -60,6 +67,12 @@ class StreamSession {
   /// Reordered snapshot of the current version (built lazily).
   const Graph& snapshot();
 
+  /// Shared ownership of the current reordered snapshot (built lazily).
+  /// The pointer stays valid after further apply() calls replace the
+  /// session's cache — this is the publication hook for
+  /// serve::SnapshotStore (which mints the epoch versions itself).
+  std::shared_ptr<const Graph> shared_snapshot();
+
   /// Position of original vertex v in the maintained ordering.
   VertexId position_of(VertexId v) const {
     return maintainer_.ordering().perm[v];
@@ -75,7 +88,9 @@ class StreamSession {
   SessionOptions opts_;
   DeltaGraph delta_;
   VeboMaintainer maintainer_;
-  std::unique_ptr<Graph> snap_;     ///< reordered snapshot cache
+  /// Reordered snapshot cache; shared so shared_snapshot() publications
+  /// outlive the next refresh.
+  std::shared_ptr<const Graph> snap_;
   std::unique_ptr<Engine> engine_;  ///< engine bound to *snap_
   bool stale_ = true;
   SessionStats stats_;

@@ -1,6 +1,7 @@
 #include "support/histogram.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <sstream>
 
@@ -40,6 +41,21 @@ double Histogram::fraction(std::uint64_t value) const {
   return static_cast<double>(count(value)) / static_cast<double>(total_);
 }
 
+std::uint64_t Histogram::value_at_quantile(double q) const {
+  if (total_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank: the rank-th smallest sample, rank = ceil(q * total).
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(total_))));
+  std::uint64_t seen = 0;
+  for (std::size_t v = 0; v < bins_.size(); ++v) {
+    seen += bins_[v];
+    if (seen >= rank) return v;
+  }
+  return max_value();
+}
+
 double Histogram::powerlaw_exponent(std::uint64_t min_value) const {
   std::vector<double> lx, ly;
   for (std::size_t v = std::max<std::uint64_t>(min_value, 1);
@@ -68,6 +84,22 @@ std::string Histogram::render(std::size_t max_rows) const {
        << "\n";
   }
   return os.str();
+}
+
+std::uint64_t log_bucket(std::uint64_t value) {
+  // Values below 32 are exact (exponent 4: 16 sub-buckets of width 1
+  // cover [16, 32)); above that, 16 geometric sub-buckets per octave.
+  if (value < 32) return value;
+  const int e = 63 - std::countl_zero(value);   // value in [2^e, 2^(e+1))
+  const std::uint64_t sub = (value >> (e - 4)) & 15;  // top 4 bits after MSB
+  return static_cast<std::uint64_t>(e - 4) * 16 + 16 + sub;
+}
+
+std::uint64_t log_bucket_floor(std::uint64_t bucket) {
+  if (bucket < 32) return bucket;
+  const std::uint64_t e = (bucket - 16) / 16 + 4;
+  const std::uint64_t sub = (bucket - 16) % 16;
+  return (16 + sub) << (e - 4);
 }
 
 double generalized_harmonic(std::size_t N, double s) {

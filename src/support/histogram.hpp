@@ -31,6 +31,11 @@ class Histogram {
   /// Fraction of samples equal to `value`.
   double fraction(std::uint64_t value) const;
 
+  /// Smallest value v such that at least `q * total()` samples are <= v
+  /// (nearest-rank percentile; q in [0, 1]). Returns 0 for an empty
+  /// histogram. q=0.5/0.95/0.99 are the serving latency percentiles.
+  std::uint64_t value_at_quantile(double q) const;
+
   const std::vector<std::uint64_t>& bins() const { return bins_; }
 
   /// Log-log least-squares estimate of the power-law exponent alpha for
@@ -45,6 +50,16 @@ class Histogram {
   std::vector<std::uint64_t> bins_;
   std::uint64_t total_ = 0;
 };
+
+/// Log-bucketed encoding for wide-range samples (serving latencies in
+/// microseconds): ~6% relative resolution (16 sub-buckets per power of
+/// two), codomain < 1024 for any 64-bit value — so a Histogram over
+/// bucket ids stays a few KB no matter how large the outliers, instead
+/// of growing bins_ to O(max value). Round-trip via log_bucket_floor
+/// (the bucket's smallest value) under-reports by at most one bucket
+/// width.
+std::uint64_t log_bucket(std::uint64_t value);
+std::uint64_t log_bucket_floor(std::uint64_t bucket);
 
 /// Generalized harmonic number H_{N,s} = sum_{i=1..N} i^-s
 /// (appears in the Zipf distribution, Eq. 1 of the paper).
