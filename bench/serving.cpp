@@ -15,6 +15,10 @@
 //           (cache invalidated on every publish). A sampler thread
 //           measures SnapshotStore::acquire latency during the churn —
 //           the "readers are never blocked by a publish" check.
+// A fourth section isolates the typed-protocol cost: the same PR query
+// answered as a checksum scalar vs. a full per-vertex payload vs. a
+// top-k list, hot (cached — payload handout is a shared_ptr copy) and
+// cold (per-miss payload translation included).
 // Everything lands in BENCH_serving.json; the headline op point is the
 // 8-client hot ratio over the serialized baseline.
 //
@@ -73,11 +77,22 @@ std::vector<Query> make_workload(const std::string& kind, std::size_t count,
   for (std::size_t i = 0; i < count; ++i) {
     Query q;
     q.algo = algos[i % algos.size()];
-    // hot: 8 distinct sources -> 24 distinct (algo, source) keys;
-    // cold: every query gets a fresh source.
+    // hot: 8 distinct sources -> a handful of distinct canonical keys;
+    // cold: every query gets a fresh cache key. The canonical key only
+    // contains schema params, so source-less algorithms (CC, PR) need a
+    // cost-neutral param jitter to stay cold (PR: damping epsilon-shift;
+    // CC has no params, so cold CC becomes BF, which takes a source).
     q.source = kind == "hot"
                    ? static_cast<VertexId>(rng.next_below(8))
                    : static_cast<VertexId>(i % n);
+    if (kind != "hot") {
+      if (q.algo == "CC") {
+        q.algo = "BF";
+      } else if (q.algo == "PR") {
+        q.params.set("damping",
+                     0.85 + 1e-12 * static_cast<double>(i + 1));
+      }
+    }
     w.push_back(q);
   }
   return w;
@@ -191,6 +206,72 @@ Point run_service(StreamSession& session, const std::vector<Query>& w,
   return p;
 }
 
+// ---- typed-payload overhead: scalar vs per-vertex vs top-k answers.
+
+struct PayloadCompare {
+  double hot_scalar_qps = 0, hot_payload_qps = 0;
+  double cold_scalar_qps = 0, cold_payload_qps = 0;
+  double topk_qps = 0;
+  double hot_overhead = 0;   ///< hot_scalar_qps / hot_payload_qps
+  double cold_overhead = 0;  ///< cold_scalar_qps / cold_payload_qps
+};
+
+PayloadCompare run_payload_overhead(const Graph& seed, std::size_t count) {
+  StreamSession session(seed);
+  const auto measure = [&](GraphService& service, std::size_t n,
+                           serve::ResultKind kind, std::int64_t top_k) {
+    Query q;
+    q.algo = "PR";
+    q.result = kind;
+    if (top_k > 0) q.params.set("top_k", top_k);
+    service.query(q);  // warm: the single miss stays outside the timer
+    Timer t;
+    for (std::size_t i = 0; i < n; ++i) service.query(q);
+    return static_cast<double>(n) / t.elapsed();
+  };
+
+  PayloadCompare pc;
+  {
+    // Hot (cache on): the same canonical key every time, so this pair
+    // compares the hit paths — returning the cached checksum vs handing
+    // out the cached per-vertex payload (a shared_ptr copy, no copy of
+    // the vector itself).
+    SnapshotStore store;
+    GraphServiceOptions opts;
+    opts.workers = 1;
+    opts.engine.model = SystemModel::Polymer;
+    GraphService service(store, opts);
+    service.publish_session(session);
+    pc.hot_scalar_qps =
+        measure(service, count, serve::ResultKind::Checksum, 0);
+    pc.hot_payload_qps =
+        measure(service, count, serve::ResultKind::Payload, 0);
+    pc.topk_qps = measure(service, count, serve::ResultKind::Payload, 8);
+  }
+  {
+    // Cold (cache off): every query recomputes, so this pair isolates
+    // what a per-vertex answer adds to a miss — the original-id
+    // translation and payload allocation (the checksum run skips both).
+    SnapshotStore store;
+    GraphServiceOptions opts;
+    opts.workers = 1;
+    opts.engine.model = SystemModel::Polymer;
+    opts.enable_cache = false;
+    GraphService service(store, opts);
+    service.publish_session(session);
+    const std::size_t cold_count = std::max<std::size_t>(8, count / 8);
+    pc.cold_scalar_qps =
+        measure(service, cold_count, serve::ResultKind::Checksum, 0);
+    pc.cold_payload_qps =
+        measure(service, cold_count, serve::ResultKind::Payload, 0);
+  }
+  pc.hot_overhead =
+      pc.hot_payload_qps > 0 ? pc.hot_scalar_qps / pc.hot_payload_qps : 0;
+  pc.cold_overhead =
+      pc.cold_payload_qps > 0 ? pc.cold_scalar_qps / pc.cold_payload_qps : 0;
+  return pc;
+}
+
 void print_point(const std::string& kind, const Point& p) {
   std::cout << "  " << kind << " clients=" << p.clients << ": "
             << p.qps << " q/s (" << p.ratio << "x serial), p50/p95/p99="
@@ -275,6 +356,15 @@ int main() {
             << ws.acquire_us_max << "us over " << ws.acquires_sampled
             << " samples\n";
 
+  // ---- typed-payload overhead vs the checksum scalar (1 client, PR).
+  const PayloadCompare pc = run_payload_overhead(seed, nqueries);
+  std::cout << "  payload: hot scalar=" << pc.hot_scalar_qps
+            << " q/s vs per-vertex=" << pc.hot_payload_qps << " q/s ("
+            << pc.hot_overhead << "x), top-8=" << pc.topk_qps
+            << " q/s; cold scalar=" << pc.cold_scalar_qps
+            << " q/s vs per-vertex=" << pc.cold_payload_qps << " q/s ("
+            << pc.cold_overhead << "x)\n";
+
   const Point& op = hot_points.back();  // 8 clients, hot
   std::ofstream json("BENCH_serving.json");
   json << "{\n  \"bench\": \"serving\",\n  \"scale\": " << scale
@@ -292,7 +382,15 @@ int main() {
     json_point(json, cold_points[i], i + 1 == cold_points.size());
   json << "  ],\n  \"hot_with_writer\": [\n";
   json_point(json, with_writer, true);
-  json << "  ],\n  \"writer\": {\"publishes\": " << ws.publishes
+  json << "  ],\n  \"payload_overhead\": {\"algo\": \"PR\", \"clients\": 1"
+       << ", \"hot_scalar_qps\": " << pc.hot_scalar_qps
+       << ", \"hot_payload_qps\": " << pc.hot_payload_qps
+       << ", \"hot_overhead\": " << pc.hot_overhead
+       << ", \"topk_qps\": " << pc.topk_qps
+       << ", \"cold_scalar_qps\": " << pc.cold_scalar_qps
+       << ", \"cold_payload_qps\": " << pc.cold_payload_qps
+       << ", \"cold_overhead\": " << pc.cold_overhead << "},\n"
+       << "  \"writer\": {\"publishes\": " << ws.publishes
        << ", \"publish_ms_mean\": " << ws.publish_ms_mean
        << ", \"reader_acquire_us_max\": " << ws.acquire_us_max
        << ", \"acquires_sampled\": " << ws.acquires_sampled << "},\n"

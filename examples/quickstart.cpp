@@ -3,12 +3,12 @@
 //   1. Generate (or load) a graph.
 //   2. Run VEBO to get a balanced vertex order.
 //   3. Relabel the graph and hand it to an Engine.
-//   4. Run an algorithm.
+//   4. Run algorithms through the typed query protocol.
 //
 // Build & run:  ./examples/quickstart
 #include <iostream>
 
-#include "algorithms/pagerank.hpp"
+#include "algorithms/registry.hpp"
 #include "gen/rmat.hpp"
 #include "graph/permute.hpp"
 #include "metrics/balance.hpp"
@@ -46,12 +46,37 @@ int main() {
              Table::num(std::size_t{after.vertex_imbalance()})});
   t.print(std::cout);
 
-  // 4. Run PageRank on a GraphGrind-style engine using VEBO's partitions.
+  // 4. Run algorithms on a GraphGrind-style engine using VEBO's
+  //    partitions, through the typed query protocol: look the algorithm
+  //    up by its paper code, pass typed params, get a typed payload.
   EngineOptions opts;
   opts.explicit_partitioning = &r.partitioning;
   Engine eng(h, SystemModel::GraphGrind, opts);
-  const auto pr = algo::pagerank(eng, {.iterations = 10});
-  std::cout << "PageRank finished: " << pr.iterations
-            << " iterations, total mass " << pr.total_mass << "\n";
+
+  // Full per-vertex PageRank vector...
+  const algo::AlgorithmSpec& pr = algo::spec("PR");
+  const algo::QueryPayload ranks = pr.invoke(
+      eng, algo::QueryParams().set("iterations", 10).set("damping", 0.85));
+  std::cout << "PageRank: " << ranks.num_entries()
+            << " per-vertex ranks, total mass " << pr.checksum(ranks)
+            << "\n";
+
+  // ...or just the top-5 ranking as (vertex, score) pairs. Note: the
+  // engine runs on the VEBO-relabelled graph, so payload vertex ids are
+  // positions in `h`; serving layers translate them back to original ids
+  // with translate_to_original_ids(payload, r.perm).
+  const algo::QueryPayload top5 =
+      pr.invoke(eng, algo::QueryParams().set("top_k", 5));
+  std::cout << "top-5:";
+  for (const auto& [v, score] : top5.top())
+    std::cout << "  v" << v << "=" << score;
+  std::cout << "\n";
+
+  // BFS takes a source; payload is the per-vertex level vector.
+  const algo::AlgorithmSpec& bfs = algo::spec("BFS");
+  const algo::QueryPayload levels =
+      bfs.invoke(eng, algo::QueryParams().set("source", 0));
+  std::cout << "BFS from v0 reached " << bfs.checksum(levels) << " of "
+            << levels.num_entries() << " vertices\n";
   return 0;
 }

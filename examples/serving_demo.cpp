@@ -4,10 +4,12 @@
 //
 // The writer owns a StreamSession (single-writer discipline) and
 // publishes an epoch into the SnapshotStore after every batch; clients
-// submit through the GraphService and see explicit backpressure if they
-// outrun the queue. Prints per-epoch progress, then aggregate
-// throughput, latency percentiles, cache effectiveness, and the
-// snapshot-reclamation accounting.
+// submit typed queries (parameterized requests, checksum or per-vertex
+// payload answers in original vertex ids) through the GraphService and
+// see explicit backpressure if they outrun the queue. Prints per-epoch
+// progress, then aggregate throughput, latency percentiles, cache
+// effectiveness, the snapshot-reclamation accounting, and a final typed
+// payload lookup (top PageRank vertices + a BFS distance) by original id.
 //
 //   ./example_serving_demo [batches=12] [batch_size=2000] [clients=8]
 #include <atomic>
@@ -80,7 +82,9 @@ int main(int argc, char** argv) {
     done.store(true, std::memory_order_release);
   });
 
-  // The clients: closed-loop mixed registry traffic over a hot key set.
+  // The clients: closed-loop mixed typed-query traffic over a hot key
+  // set — parameterized requests, and every 4th one asking for the full
+  // typed payload instead of the checksum scalar.
   std::vector<std::thread> pool;
   Timer wall;
   for (int c = 0; c < clients; ++c) {
@@ -91,6 +95,10 @@ int main(int argc, char** argv) {
         Query q;
         q.algo = kAlgos[rng.next_below(4)];
         q.source = static_cast<VertexId>(rng.next_below(16));
+        if (q.algo == std::string("PR"))
+          q.params.set("iterations", 10).set("damping", 0.85);
+        q.result = rng.next_below(4) == 0 ? serve::ResultKind::Payload
+                                          : serve::ResultKind::Checksum;
         auto sub = service.submit(q);
         if (!sub.accepted()) {
           // Explicit backpressure: shed and retry later.
@@ -107,6 +115,28 @@ int main(int argc, char** argv) {
   writer.join();
   for (auto& t : pool) t.join();
   const double secs = wall.elapsed();
+
+  // Typed payloads by original id: the published permutation translates
+  // per-vertex answers back, so these ids are stable across every VEBO
+  // rebalance the stream triggered.
+  {
+    Query q;
+    q.algo = "PR";
+    q.params.set("top_k", 5);
+    q.result = serve::ResultKind::Payload;
+    const auto top = service.query(q);
+    std::cout << "\ntop-5 PageRank (original ids, epoch " << top.version
+              << "):";
+    for (const auto& [v, score] : top.payload->top())
+      std::cout << "  v" << v << "=" << score;
+    Query b;
+    b.algo = "BFS";
+    b.params.set("source", 0);
+    b.result = serve::ResultKind::Payload;
+    const auto lv = service.query(b);
+    std::cout << "\nBFS from v0: level of v42 = " << lv.payload->ids()[42]
+              << " (" << lv.value << " reached)\n";
+  }
   service.stop();
 
   const auto stats = service.stats();
@@ -122,7 +152,8 @@ int main(int argc, char** argv) {
             << 100.0 * static_cast<double>(stats.cache_hits) /
                    static_cast<double>(std::max<std::uint64_t>(
                        1, stats.completed))
-            << "% hits, " << stats.invalidations << " invalidations\n"
+            << "% hits, " << stats.invalidations << " invalidations, "
+            << stats.evictions << " evictions\n"
             << "backpressure: " << backpressured.load() << " rejections\n"
             << "snapshots:    " << snaps.published << " published, "
             << snaps.reclaimed << " reclaimed, " << snaps.live << " live\n"

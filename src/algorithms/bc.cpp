@@ -106,4 +106,29 @@ BcResult betweenness(const Engine& eng, VertexId source) {
   return res;
 }
 
+AlgorithmSpec bc_spec() {
+  AlgorithmSpec s;
+  s.code = "BC";
+  s.description = "betweenness centrality (single source)";
+  s.edge_oriented = false;
+  s.dense_frontier = false;
+  s.params = ParamSchema{
+      {"source", ParamType::Int, std::int64_t{0}, "start vertex id"},
+      {"top_k", ParamType::Int, std::int64_t{0},
+       "0 = full dependency vector, k > 0 = k most central vertices"}};
+  s.run = [](const Engine& eng, const QueryParams& p) {
+    const std::int64_t k = p.get_int("top_k");
+    VEBO_CHECK(k >= 0, "BC: top_k must be >= 0");
+    BcResult r = betweenness(eng, p.get_vertex("source"));
+    QueryPayload out =
+        k > 0 ? QueryPayload::top_k(
+                    top_k_of(r.dependency, static_cast<std::size_t>(k)))
+              : QueryPayload::vertex_doubles(std::move(r.dependency));
+    out.aux = r.levels;
+    return out;
+  };
+  s.checksum = serial_sum;
+  return s;
+}
+
 }  // namespace vebo::algo

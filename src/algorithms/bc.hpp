@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "algorithms/query.hpp"
 #include "framework/engine.hpp"
 
 namespace vebo::algo {
@@ -17,5 +18,11 @@ struct BcResult {
 };
 
 BcResult betweenness(const Engine& eng, VertexId source);
+
+/// Typed entry point. Params: source (int, 0), top_k (int, 0). Payload:
+/// per-vertex Brandes dependency scores, or the top_k most central
+/// (vertex, score) pairs; aux = BFS levels. Checksum fold = serial
+/// dependency sum.
+AlgorithmSpec bc_spec();
 
 }  // namespace vebo::algo

@@ -62,4 +62,27 @@ BellmanFordResult bellman_ford(const Engine& eng, VertexId source) {
   return res;
 }
 
+AlgorithmSpec bellman_ford_spec() {
+  AlgorithmSpec s;
+  s.code = "BF";
+  s.description = "Bellman-Ford single-source shortest paths";
+  s.edge_oriented = false;
+  s.dense_frontier = false;
+  s.params = ParamSchema{
+      {"source", ParamType::Int, std::int64_t{0}, "start vertex id"}};
+  s.run = [](const Engine& eng, const QueryParams& p) {
+    BellmanFordResult r = bellman_ford(eng, p.get_vertex("source"));
+    QueryPayload out = QueryPayload::vertex_doubles(std::move(r.distance));
+    out.aux = r.rounds;
+    return out;
+  };
+  s.checksum = [](const QueryPayload& p) {
+    double reached = 0;
+    for (double d : p.doubles())
+      if (d != kUnreachable) reached += 1;
+    return reached;
+  };
+  return s;
+}
+
 }  // namespace vebo::algo

@@ -6,6 +6,7 @@
 #include <limits>
 #include <vector>
 
+#include "algorithms/query.hpp"
 #include "framework/engine.hpp"
 
 namespace vebo::algo {
@@ -19,5 +20,10 @@ struct BellmanFordResult {
 };
 
 BellmanFordResult bellman_ford(const Engine& eng, VertexId source);
+
+/// Typed entry point. Params: source (int, 0). Payload: per-vertex
+/// shortest-path distances (kUnreachable = +inf); aux = rounds.
+/// Checksum fold = reached (finite-distance) count.
+AlgorithmSpec bellman_ford_spec();
 
 }  // namespace vebo::algo

@@ -76,4 +76,29 @@ BfsResult bfs(const Engine& eng, VertexId source) {
   return res;
 }
 
+AlgorithmSpec bfs_spec() {
+  AlgorithmSpec s;
+  s.code = "BFS";
+  s.description = "breadth-first search";
+  s.edge_oriented = false;
+  s.dense_frontier = false;
+  s.params = ParamSchema{
+      {"source", ParamType::Int, std::int64_t{0}, "start vertex id"}};
+  s.run = [](const Engine& eng, const QueryParams& p) {
+    BfsResult r = bfs(eng, p.get_vertex("source"));
+    QueryPayload out = QueryPayload::vertex_ids(std::move(r.level));
+    out.aux = r.rounds;
+    return out;
+  };
+  s.checksum = [](const QueryPayload& p) {
+    // level[v] and parent[v] are invalid for exactly the same vertices,
+    // so this reproduces BfsResult::reached.
+    double reached = 0;
+    for (VertexId l : p.ids())
+      if (l != kInvalidVertex) reached += 1;
+    return reached;
+  };
+  return s;
+}
+
 }  // namespace vebo::algo

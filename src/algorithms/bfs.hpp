@@ -5,6 +5,7 @@
 
 #include <vector>
 
+#include "algorithms/query.hpp"
 #include "framework/engine.hpp"
 
 namespace vebo::algo {
@@ -19,5 +20,10 @@ struct BfsResult {
 };
 
 BfsResult bfs(const Engine& eng, VertexId source);
+
+/// Typed entry point. Params: source (int, 0). Payload: per-vertex BFS
+/// levels (kInvalidVertex = unreached); aux = rounds. Checksum fold =
+/// reached-vertex count.
+AlgorithmSpec bfs_spec();
 
 }  // namespace vebo::algo

@@ -69,4 +69,31 @@ BpResult belief_propagation(const Engine& eng, const BpOptions& opts) {
   return res;
 }
 
+AlgorithmSpec bp_spec() {
+  AlgorithmSpec s;
+  s.code = "BP";
+  s.description = "belief propagation, 10 iterations";
+  s.edge_oriented = true;
+  s.dense_frontier = true;
+  s.params = ParamSchema{
+      {"iterations", ParamType::Int, std::int64_t{10}, "sync iterations"},
+      {"coupling", ParamType::Float, 0.5,
+       "edge potential strength in log-odds space"}};
+  s.run = [](const Engine& eng, const QueryParams& p) {
+    BpOptions opts;
+    opts.iterations = static_cast<int>(p.get_int("iterations"));
+    opts.coupling = p.get_float("coupling");
+    VEBO_CHECK(opts.iterations >= 0, "BP: iterations must be >= 0");
+    BpResult r = belief_propagation(eng, opts);
+    QueryPayload out = QueryPayload::vertex_doubles(std::move(r.belief));
+    out.aux = r.residual;
+    return out;
+  };
+  // The legacy value is the last-iteration residual — a convergence
+  // metric the final beliefs cannot reproduce, so the fold reads the
+  // payload's diagnostic scalar.
+  s.checksum = [](const QueryPayload& p) { return p.aux; };
+  return s;
+}
+
 }  // namespace vebo::algo

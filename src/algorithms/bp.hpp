@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "algorithms/query.hpp"
 #include "framework/engine.hpp"
 
 namespace vebo::algo {
@@ -25,5 +26,11 @@ struct BpResult {
 };
 
 BpResult belief_propagation(const Engine& eng, const BpOptions& opts = {});
+
+/// Typed entry point. Params: iterations (int, 10), coupling (float,
+/// 0.5). Payload: per-vertex log-odds beliefs; aux = final-iteration
+/// residual. Checksum fold = aux (the legacy convergence metric, which
+/// the final beliefs alone cannot encode).
+AlgorithmSpec bp_spec();
 
 }  // namespace vebo::algo

@@ -112,4 +112,32 @@ CcResult connected_components(const Engine& eng) {
   return res;
 }
 
+AlgorithmSpec cc_spec() {
+  AlgorithmSpec s;
+  s.code = "CC";
+  s.description = "connected components (label propagation)";
+  s.edge_oriented = true;
+  s.dense_frontier = true;
+  s.params = ParamSchema{};
+  s.run = [](const Engine& eng, const QueryParams&) {
+    CcResult r = connected_components(eng);
+    QueryPayload out = QueryPayload::vertex_ids(
+        std::move(r.label), /*values_are_vertex_ids=*/true);
+    out.aux = r.rounds;
+    return out;
+  };
+  s.checksum = [](const QueryPayload& p) {
+    // Labels are the component-minimum vertex id, so each component has
+    // exactly one fixed point label[v] == v — this counts components.
+    // Translation maps index and value through the same bijection, so
+    // the fold is permutation-stable.
+    const std::vector<VertexId>& label = p.ids();
+    double components = 0;
+    for (VertexId v = 0; v < label.size(); ++v)
+      if (label[v] == v) components += 1;
+    return components;
+  };
+  return s;
+}
+
 }  // namespace vebo::algo

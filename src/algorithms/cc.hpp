@@ -5,6 +5,7 @@
 
 #include <vector>
 
+#include "algorithms/query.hpp"
 #include "framework/engine.hpp"
 
 namespace vebo::algo {
@@ -16,5 +17,10 @@ struct CcResult {
 };
 
 CcResult connected_components(const Engine& eng);
+
+/// Typed entry point. No params. Payload: per-vertex component labels
+/// (id-valued: label = member vertex id, translated with the payload);
+/// aux = rounds. Checksum fold = component count.
+AlgorithmSpec cc_spec();
 
 }  // namespace vebo::algo

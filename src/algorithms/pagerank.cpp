@@ -65,6 +65,36 @@ PageRankResult pagerank(const Engine& eng, const PageRankOptions& opts) {
   return res;
 }
 
+AlgorithmSpec pagerank_spec() {
+  AlgorithmSpec s;
+  s.code = "PR";
+  s.description = "PageRank, power method, 10 iterations";
+  s.edge_oriented = true;
+  s.dense_frontier = true;
+  s.params = ParamSchema{
+      {"iterations", ParamType::Int, std::int64_t{10}, "power iterations"},
+      {"damping", ParamType::Float, 0.85, "damping factor"},
+      {"top_k", ParamType::Int, std::int64_t{0},
+       "0 = full rank vector, k > 0 = k highest-ranked vertices"}};
+  s.run = [](const Engine& eng, const QueryParams& p) {
+    PageRankOptions opts;
+    opts.iterations = static_cast<int>(p.get_int("iterations"));
+    opts.damping = p.get_float("damping");
+    VEBO_CHECK(opts.iterations >= 0, "PR: iterations must be >= 0");
+    const std::int64_t k = p.get_int("top_k");
+    VEBO_CHECK(k >= 0, "PR: top_k must be >= 0");
+    PageRankResult r = pagerank(eng, opts);
+    QueryPayload out =
+        k > 0 ? QueryPayload::top_k(
+                    top_k_of(r.rank, static_cast<std::size_t>(k)))
+              : QueryPayload::vertex_doubles(std::move(r.rank));
+    out.aux = r.total_mass;
+    return out;
+  };
+  s.checksum = serial_sum;  // == legacy total_mass for the full vector
+  return s;
+}
+
 std::vector<double> pagerank_partition_times(const Engine& eng, int repeats) {
   VEBO_CHECK(eng.partitioned(),
              "pagerank_partition_times requires a partitioned engine");

@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "algorithms/query.hpp"
 #include "framework/engine.hpp"
 
 namespace vebo::algo {
@@ -30,5 +31,11 @@ PageRankResult pagerank(const Engine& eng, const PageRankOptions& opts = {});
 /// Returns seconds per partition.
 std::vector<double> pagerank_partition_times(const Engine& eng,
                                              int repeats = 3);
+
+/// Typed entry point. Params: iterations (int, 10), damping (float,
+/// 0.85), top_k (int, 0). Payload: full per-vertex rank vector, or the
+/// top_k highest-ranked (vertex, score) pairs when top_k > 0; aux =
+/// total mass. Checksum fold = serial rank sum (== legacy total_mass).
+AlgorithmSpec pagerank_spec();
 
 }  // namespace vebo::algo

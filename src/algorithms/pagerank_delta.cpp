@@ -101,4 +101,37 @@ PageRankDeltaResult pagerank_delta(const Engine& eng,
   return res;
 }
 
+AlgorithmSpec pagerank_delta_spec() {
+  AlgorithmSpec s;
+  s.code = "PRD";
+  s.description = "PageRank with delta updates";
+  s.edge_oriented = true;
+  s.dense_frontier = false;
+  s.params = ParamSchema{
+      {"max_iters", ParamType::Int, std::int64_t{10}, "iteration cap"},
+      {"damping", ParamType::Float, 0.85, "damping factor"},
+      {"epsilon", ParamType::Float, 1e-2,
+       "active while |delta| > epsilon * rank"},
+      {"top_k", ParamType::Int, std::int64_t{0},
+       "0 = full rank vector, k > 0 = k highest-ranked vertices"}};
+  s.run = [](const Engine& eng, const QueryParams& p) {
+    PageRankDeltaOptions opts;
+    opts.max_iterations = static_cast<int>(p.get_int("max_iters"));
+    opts.damping = p.get_float("damping");
+    opts.epsilon = p.get_float("epsilon");
+    VEBO_CHECK(opts.max_iterations >= 0, "PRD: max_iters must be >= 0");
+    const std::int64_t k = p.get_int("top_k");
+    VEBO_CHECK(k >= 0, "PRD: top_k must be >= 0");
+    PageRankDeltaResult r = pagerank_delta(eng, opts);
+    QueryPayload out =
+        k > 0 ? QueryPayload::top_k(
+                    top_k_of(r.rank, static_cast<std::size_t>(k)))
+              : QueryPayload::vertex_doubles(std::move(r.rank));
+    out.aux = r.iterations;
+    return out;
+  };
+  s.checksum = serial_sum;
+  return s;
+}
+
 }  // namespace vebo::algo

@@ -7,6 +7,7 @@
 
 #include <vector>
 
+#include "algorithms/query.hpp"
 #include "framework/engine.hpp"
 
 namespace vebo::algo {
@@ -27,5 +28,11 @@ struct PageRankDeltaResult {
 
 PageRankDeltaResult pagerank_delta(const Engine& eng,
                                    const PageRankDeltaOptions& opts = {});
+
+/// Typed entry point. Params: max_iters (int, 10), damping (float,
+/// 0.85), epsilon (float, 1e-2), top_k (int, 0). Payload: per-vertex
+/// rank vector or top-k pairs; aux = iterations run. Checksum fold =
+/// serial rank sum.
+AlgorithmSpec pagerank_delta_spec();
 
 }  // namespace vebo::algo

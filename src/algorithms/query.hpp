@@ -1,0 +1,226 @@
+// The typed query protocol: parameterized algorithm requests and typed
+// per-vertex results, shared by every invocation layer (registry,
+// StreamSession, serve::GraphService).
+//
+// A query is (algorithm code, QueryParams). Params are a small typed
+// key/value set ("source", "iterations", "damping", ...) validated and
+// default-filled against the algorithm's ParamSchema — unknown names and
+// ill-typed values are rejected with vebo::Error before any work runs.
+// The answer is a QueryPayload: a tagged variant of
+//   * a scalar,
+//   * a per-vertex double vector (ranks, distances, dependencies),
+//   * a per-vertex id vector (BFS levels, CC component labels),
+//   * a top-k (vertex, score) list,
+// always in the id space of the engine's graph. When that graph is a
+// reordered snapshot, translate_to_original_ids() maps a payload back to
+// the client-visible original ids (per-vertex vectors are reindexed; id
+// *values* — component labels, top-k vertices — are mapped through the
+// inverse permutation).
+//
+// canonical_query_key() renders (code, validated params) into a
+// deterministic string — sorted param order, type-tagged values, hex
+// floats — so caches key on query *semantics*, not param spelling.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <span>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace vebo {
+class Engine;
+}  // namespace vebo
+
+namespace vebo::algo {
+
+// ------------------------------------------------------------- parameters
+
+enum class ParamType : std::uint8_t { Int, Float };
+
+/// A parameter value as supplied by a client. Schema validation coerces
+/// integers to doubles for Float params (widening only — a double is
+/// never silently truncated into an Int param).
+using ParamValue = std::variant<std::int64_t, double>;
+
+/// One parameter an algorithm accepts, with its default.
+struct ParamSpec {
+  std::string name;
+  ParamType type = ParamType::Int;
+  ParamValue default_value = std::int64_t{0};
+  std::string description;
+};
+
+class QueryParams;
+
+/// The full parameter surface of one algorithm. Immutable after
+/// construction; validate() is const and safe to call concurrently.
+class ParamSchema {
+ public:
+  ParamSchema() = default;
+  ParamSchema(std::initializer_list<ParamSpec> specs) : specs_(specs) {}
+
+  const std::vector<ParamSpec>& specs() const { return specs_; }
+  /// nullptr when the schema has no such parameter.
+  const ParamSpec* find(std::string_view name) const;
+
+  /// Checks `given` against the schema and returns the normalized set:
+  /// every schema param present (defaults filled), every value carrying
+  /// its schema type. Throws vebo::Error on unknown names and on values
+  /// whose type does not match (ints widen to Float params; anything
+  /// else is ill-typed).
+  QueryParams validate(const QueryParams& given) const;
+
+ private:
+  std::vector<ParamSpec> specs_;
+};
+
+/// A typed key/value parameter set. Entries are kept sorted by name so
+/// canonical encodings are independent of insertion order.
+class QueryParams {
+ public:
+  QueryParams() = default;
+
+  QueryParams& set(std::string name, double v) {
+    entries_[std::move(name)] = v;
+    return *this;
+  }
+  template <typename T>
+    requires std::is_integral_v<T>
+  QueryParams& set(std::string name, T v) {
+    entries_[std::move(name)] = static_cast<std::int64_t>(v);
+    return *this;
+  }
+
+  bool has(std::string_view name) const {
+    return entries_.find(name) != entries_.end();
+  }
+  /// Typed getters throw vebo::Error when the param is absent or holds
+  /// the other type (get_float additionally accepts an int, widened).
+  std::int64_t get_int(std::string_view name) const;
+  double get_float(std::string_view name) const;
+  /// get_int checked into [0, kInvalidVertex).
+  VertexId get_vertex(std::string_view name) const;
+
+  const std::map<std::string, ParamValue, std::less<>>& entries() const {
+    return entries_;
+  }
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::map<std::string, ParamValue, std::less<>> entries_;
+};
+
+/// Deterministic encoding of a validated query: `CODE?a=i3&b=f0x1.b33...`.
+/// Two queries encode equal iff they run the same computation — param
+/// order, default-filled vs explicit, and float spelling ("0.85" vs an
+/// int widened to 1.0) cannot produce distinct keys for equal semantics.
+/// Pass *validated* params; raw client params would key on spelling.
+std::string canonical_query_key(std::string_view code,
+                                const QueryParams& params);
+
+// ---------------------------------------------------------------- payload
+
+enum class PayloadKind : std::uint8_t {
+  Scalar = 0,         ///< one double
+  VertexDoubles = 1,  ///< value per vertex (ranks, distances, beliefs)
+  VertexIds = 2,      ///< id-typed value per vertex (levels, labels)
+  TopK = 3,           ///< ranked (vertex, score) list
+};
+
+struct VertexScore {
+  VertexId vertex = 0;
+  double score = 0;
+  friend bool operator==(const VertexScore&, const VertexScore&) = default;
+};
+
+/// The typed result of one algorithm run. Vertex indices and id values
+/// refer to the graph the engine ran on; see translate_to_original_ids().
+class QueryPayload {
+ public:
+  QueryPayload() : data_(0.0) {}
+
+  static QueryPayload scalar(double v);
+  static QueryPayload vertex_doubles(std::vector<double> v);
+  /// `values_are_vertex_ids`: the vector's *values* name vertices (CC
+  /// labels) rather than counts (BFS levels), so translation must map
+  /// them through the inverse permutation too.
+  static QueryPayload vertex_ids(std::vector<VertexId> v,
+                                 bool values_are_vertex_ids = false);
+  static QueryPayload top_k(std::vector<VertexScore> v);
+
+  PayloadKind kind() const { return static_cast<PayloadKind>(data_.index()); }
+  /// Accessors throw vebo::Error on a kind mismatch.
+  double scalar_value() const;
+  const std::vector<double>& doubles() const;
+  const std::vector<VertexId>& ids() const;
+  const std::vector<VertexScore>& top() const;
+  bool values_are_vertex_ids() const { return values_are_vertex_ids_; }
+
+  /// Entries in the payload (1 for a scalar).
+  std::size_t num_entries() const;
+
+  /// Algorithm-specific diagnostic scalar riding along with the payload
+  /// (BP's residual, PR's iteration count...). Not part of the client
+  /// protocol proper, but checksum folds may read it when the legacy
+  /// value is a convergence metric the payload itself cannot encode.
+  double aux = 0.0;
+
+ private:
+  std::variant<double, std::vector<double>, std::vector<VertexId>,
+               std::vector<VertexScore>>
+      data_;
+  bool values_are_vertex_ids_ = false;
+};
+
+/// Maps a payload computed on a reordered snapshot back to original
+/// vertex ids; `perm` is the published original-id -> snapshot-position
+/// permutation. Per-vertex vectors are reindexed (out[v] = in[perm[v]]),
+/// id values and top-k vertices are mapped through the inverse. Scalars
+/// pass through untouched. Per-vertex payload sizes must equal
+/// perm.size().
+QueryPayload translate_to_original_ids(const QueryPayload& p,
+                                       std::span<const VertexId> perm);
+
+// ----------------------------------------------------------- entry point
+
+/// One algorithm's typed entry point: schema + spec-based runner + the
+/// deterministic payload fold reproducing the legacy checksum surface.
+struct AlgorithmSpec {
+  std::string code;         ///< paper's code: BC, CC, PR, BFS, PRD, SPMV, BF, BP
+  std::string description;  ///< one-liner from Table II
+  bool edge_oriented = false;   ///< E vs V orientation (Table II)
+  bool dense_frontier = false;  ///< predominantly dense frontiers (Table II)
+  ParamSchema params;
+  /// Runs on *validated* params (every schema key present and typed);
+  /// callers go through invoke() or validate explicitly. "source" params
+  /// are in the engine graph's id space — serving layers translate
+  /// original ids before calling.
+  std::function<QueryPayload(const Engine&, const QueryParams&)> run;
+  /// Deterministic fold of run()'s payload reproducing the pre-protocol
+  /// checksum exactly (serial in-payload-order sums, reached counts...).
+  std::function<double(const QueryPayload&)> checksum;
+
+  /// Validate + run in one step (the non-serving convenience path).
+  QueryPayload invoke(const Engine& eng, const QueryParams& raw = {}) const {
+    return run(eng, params.validate(raw));
+  }
+};
+
+/// Shared helper for ranked payloads: the k highest-scoring vertices,
+/// score-descending with vertex-id ascending tie-break (deterministic
+/// under any thread count). k >= n degrades to a full ranking.
+std::vector<VertexScore> top_k_of(std::span<const double> scores,
+                                  std::size_t k);
+
+/// Serial in-payload-order sum (doubles, top-k scores, or the scalar
+/// itself) — the fold behind the sum-style legacy checksums. Summation
+/// order matches the pre-protocol serial loops bit-for-bit.
+double serial_sum(const QueryPayload& p);
+
+}  // namespace vebo::algo

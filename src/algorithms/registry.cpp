@@ -14,52 +14,52 @@
 
 namespace vebo::algo {
 
-const std::vector<AlgorithmInfo>& algorithms() {
-  static const std::vector<AlgorithmInfo> algos = {
-      {"BC", "betweenness centrality (single source)", false, false,
-       [](const Engine& eng, VertexId src) {
-         const auto r = betweenness(eng, src);
-         double sum = 0.0;
-         for (double d : r.dependency) sum += d;
-         return sum;
-       }},
-      {"CC", "connected components (label propagation)", true, true,
-       [](const Engine& eng, VertexId) {
-         return static_cast<double>(connected_components(eng).num_components);
-       }},
-      {"PR", "PageRank, power method, 10 iterations", true, true,
-       [](const Engine& eng, VertexId) {
-         return pagerank(eng, {.iterations = 10}).total_mass;
-       }},
-      {"BFS", "breadth-first search", false, false,
-       [](const Engine& eng, VertexId src) {
-         return static_cast<double>(bfs(eng, src).reached);
-       }},
-      {"PRD", "PageRank with delta updates", true, false,
-       [](const Engine& eng, VertexId) {
-         const auto r = pagerank_delta(eng);
-         double sum = 0.0;
-         for (double x : r.rank) sum += x;
-         return sum;
-       }},
-      {"SPMV", "sparse matrix-vector multiply, 1 iteration", true, true,
-       [](const Engine& eng, VertexId) { return spmv(eng).checksum; }},
-      {"BF", "Bellman-Ford single-source shortest paths", false, false,
-       [](const Engine& eng, VertexId src) {
-         return static_cast<double>(bellman_ford(eng, src).reached);
-       }},
-      {"BP", "belief propagation, 10 iterations", true, true,
-       [](const Engine& eng, VertexId) {
-         return belief_propagation(eng).residual;
-       }},
+const std::vector<AlgorithmSpec>& specs() {
+  static const std::vector<AlgorithmSpec> all = {
+      bc_spec(),   cc_spec(),           pagerank_spec(), bfs_spec(),
+      pagerank_delta_spec(), spmv_spec(), bellman_ford_spec(), bp_spec(),
   };
+  return all;
+}
+
+const AlgorithmSpec* find_spec(std::string_view code) {
+  // Index built once under the magic-static lock; lookups afterwards are
+  // lock-free reads of an immutable map. Keys are string_views into the
+  // (equally immutable) specs() entries.
+  static const std::unordered_map<std::string_view, const AlgorithmSpec*>
+      index = [] {
+        std::unordered_map<std::string_view, const AlgorithmSpec*> m;
+        for (const auto& s : specs()) m.emplace(s.code, &s);
+        return m;
+      }();
+  const auto it = index.find(code);
+  return it == index.end() ? nullptr : it->second;
+}
+
+const AlgorithmSpec& spec(const std::string& code) {
+  if (const AlgorithmSpec* s = find_spec(code)) return *s;
+  throw Error("unknown algorithm code: " + code);
+}
+
+const std::vector<AlgorithmInfo>& algorithms() {
+  static const std::vector<AlgorithmInfo> algos = [] {
+    std::vector<AlgorithmInfo> v;
+    for (const AlgorithmSpec& s : specs()) {
+      // &s is stable: specs() is a function-local static.
+      v.push_back({s.code, s.description, s.edge_oriented, s.dense_frontier,
+                   [sp = &s](const Engine& eng, VertexId source) {
+                     QueryParams p;
+                     if (sp->params.find("source") != nullptr)
+                       p.set("source", source);
+                     return sp->checksum(sp->run(eng, sp->params.validate(p)));
+                   }});
+    }
+    return v;
+  }();
   return algos;
 }
 
 const AlgorithmInfo* find_algorithm(std::string_view code) {
-  // Index built once under the magic-static lock; lookups afterwards are
-  // lock-free reads of an immutable map. Keys are string_views into the
-  // (equally immutable) algorithms() entries.
   static const std::unordered_map<std::string_view, const AlgorithmInfo*>
       index = [] {
         std::unordered_map<std::string_view, const AlgorithmInfo*> m;
@@ -78,7 +78,7 @@ const AlgorithmInfo& algorithm(const std::string& code) {
 const std::vector<std::string>& algorithm_codes() {
   static const std::vector<std::string> codes = [] {
     std::vector<std::string> c;
-    for (const auto& a : algorithms()) c.push_back(a.code);
+    for (const auto& s : specs()) c.push_back(s.code);
     return c;
   }();
   return codes;

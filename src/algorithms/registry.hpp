@@ -1,6 +1,17 @@
-// Name-indexed registry of the 8 evaluation algorithms so benchmarks can
-// sweep "all algorithms x all graphs x all orderings" exactly like the
-// paper's Table III.
+// Name-indexed registry of the 8 evaluation algorithms, exposed through
+// the typed query protocol (algorithms/query.hpp): each entry is an
+// AlgorithmSpec with a ParamSchema, a run() returning a typed
+// QueryPayload (distances, component labels, rank vectors, top-k lists),
+// and the deterministic checksum fold of that payload.
+//
+// Two surfaces over the same specs:
+//  * specs()/find_spec()/spec(): the typed protocol — what the serving
+//    layer and parameterized clients use;
+//  * algorithms()/find_algorithm()/algorithm(): the legacy checksum
+//    surface (Table III benches sweeping "all algorithms x all graphs x
+//    all orderings") — a thin adapter running each spec with default
+//    params (plus the given source) and folding the payload to the
+//    pre-protocol checksum value.
 //
 // Thread-safety: the tables are immutable after their C++11 magic-static
 // initialization, so every accessor below may be called concurrently with
@@ -13,27 +24,40 @@
 #include <string_view>
 #include <vector>
 
+#include "algorithms/query.hpp"
 #include "framework/engine.hpp"
 
 namespace vebo::algo {
+
+/// All 8 algorithm specs in the paper's order.
+const std::vector<AlgorithmSpec>& specs();
+
+/// Hash-indexed spec lookup by code; returns nullptr on unknown code (no
+/// throw on a miss — the form services use to reject bad query names
+/// cheaply). Not noexcept: the first call builds the index and may
+/// propagate bad_alloc like any other allocation.
+const AlgorithmSpec* find_spec(std::string_view code);
+
+/// Spec lookup by code; throws vebo::Error on unknown code.
+const AlgorithmSpec& spec(const std::string& code);
+
+// ------------------------------------------- legacy checksum surface
 
 struct AlgorithmInfo {
   std::string code;         ///< paper's code: BC, CC, PR, BFS, PRD, SPMV, BF, BP
   std::string description;  ///< one-liner from Table II
   bool edge_oriented;       ///< E vs V orientation (Table II)
   bool dense_frontier;      ///< predominantly dense frontiers (Table II)
-  /// Runs the algorithm with Table II's default parameters and returns a
-  /// checksum (forces the computation; value is implementation-defined).
+  /// Runs the spec with Table II's default parameters (source forwarded
+  /// when the schema takes one) and returns the checksum fold of the
+  /// payload — byte-identical to the pre-protocol checksum closures.
   std::function<double(const Engine&, VertexId source)> run;
 };
 
-/// All 8 algorithms in the paper's order.
+/// All 8 algorithms in the paper's order (adapters over specs()).
 const std::vector<AlgorithmInfo>& algorithms();
 
-/// Hash-indexed lookup by code; returns nullptr on unknown code (no
-/// throw on a miss — the form services use to reject bad query names
-/// cheaply). Not noexcept: the first call builds the index and may
-/// propagate bad_alloc like any other allocation.
+/// Lookup by code; returns nullptr on unknown code.
 const AlgorithmInfo* find_algorithm(std::string_view code);
 
 /// Lookup by code; throws vebo::Error on unknown code.

@@ -50,4 +50,19 @@ SpmvResult spmv(const Engine& eng) {
   return spmv(eng, x);
 }
 
+AlgorithmSpec spmv_spec() {
+  AlgorithmSpec s;
+  s.code = "SPMV";
+  s.description = "sparse matrix-vector multiply, 1 iteration";
+  s.edge_oriented = true;
+  s.dense_frontier = true;
+  s.params = ParamSchema{};
+  s.run = [](const Engine& eng, const QueryParams&) {
+    SpmvResult r = spmv(eng);
+    return QueryPayload::vertex_doubles(std::move(r.y));
+  };
+  s.checksum = serial_sum;  // == legacy SpmvResult::checksum
+  return s;
+}
+
 }  // namespace vebo::algo

@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "algorithms/query.hpp"
 #include "framework/engine.hpp"
 
 namespace vebo::algo {
@@ -23,5 +24,10 @@ SpmvResult spmv(const Engine& eng, const std::vector<double>& x);
 
 /// Convenience: x = 1/n everywhere.
 SpmvResult spmv(const Engine& eng);
+
+/// Typed entry point. No params (x = 1/n). Payload: the per-vertex
+/// product vector y. Checksum fold = serial sum of y (== legacy
+/// SpmvResult::checksum).
+AlgorithmSpec spmv_spec();
 
 }  // namespace vebo::algo

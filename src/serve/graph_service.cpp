@@ -16,12 +16,6 @@ const char* to_string(SubmitStatus s) {
   return "?";
 }
 
-namespace {
-std::string cache_key(const Query& q) {
-  return q.algo + '|' + std::to_string(q.source);
-}
-}  // namespace
-
 GraphService::GraphService(SnapshotStore& store, GraphServiceOptions opts)
     : store_(store),
       opts_(opts),
@@ -31,10 +25,14 @@ GraphService::GraphService(SnapshotStore& store, GraphServiceOptions opts)
         // pool could park every worker and starve the queue.
         eopts.max_engines = std::max(eopts.max_engines, opts.workers);
         return eopts;
-      }()) {
+      }()),
+      cache_(opts.cache_capacity) {
   VEBO_CHECK(opts_.workers >= 1, "GraphService: workers must be >= 1");
   VEBO_CHECK(opts_.queue_capacity >= 1,
              "GraphService: queue_capacity must be >= 1");
+  VEBO_CHECK(!opts_.enable_cache || opts_.cache_capacity >= 1,
+             "GraphService: cache_capacity must be >= 1 "
+             "(set enable_cache = false to serve uncached)");
   workers_.reserve(opts_.workers);
   for (std::size_t i = 0; i < opts_.workers; ++i)
     workers_.emplace_back([this] { worker_loop(); });
@@ -132,54 +130,90 @@ void GraphService::process(Item& item) {
     const SnapshotRef snap = store_.acquire();
     if (!snap)
       throw Error("GraphService: no snapshot published yet");
-    const algo::AlgorithmInfo* a = algo::find_algorithm(item.q.algo);
-    if (a == nullptr)
+    const algo::AlgorithmSpec* spec = algo::find_spec(item.q.algo);
+    if (spec == nullptr)
       throw Error("GraphService: unknown algorithm code: " + item.q.algo);
-    VertexId source = item.q.source;
-    if (const Permutation* perm = snap.perm()) {
-      VEBO_CHECK(source < static_cast<VertexId>(perm->size()),
+
+    // Validate against the schema (throws on unknown/ill-typed params,
+    // fills defaults) with the legacy `source` field folded in. The
+    // normalized set stays in ORIGINAL ids — it is the client-visible
+    // identity of the query, and what the cache keys on.
+    algo::QueryParams raw = item.q.params;
+    const bool takes_source = spec->params.find("source") != nullptr;
+    if (takes_source && !raw.has("source")) raw.set("source", item.q.source);
+    const algo::QueryParams norm = spec->params.validate(raw);
+
+    const Permutation* perm = snap.perm();
+    VertexId source = 0;
+    if (takes_source) {
+      source = norm.get_vertex("source");
+      if (perm != nullptr) {
+        VEBO_CHECK(source < static_cast<VertexId>(perm->size()),
+                   "GraphService: source out of range");
+        source = (*perm)[source];
+      }
+      VEBO_CHECK(source < snap.graph().num_vertices(),
                  "GraphService: source out of range");
-      source = (*perm)[source];
     }
-    VEBO_CHECK(source < snap.graph().num_vertices(),
-               "GraphService: source out of range");
     r.version = snap.version();
 
-    const std::string key = cache_key(item.q);
+    const CacheKey key = CacheKey::make(spec->code, norm);
+    const bool want_payload = item.q.result == ResultKind::Payload;
     bool hit = false;
     if (opts_.enable_cache) {
       std::lock_guard<std::mutex> lk(cache_mutex_);
       if (cache_version_ == snap.version()) {
-        const auto it = cache_.find(key);
-        if (it != cache_.end()) {
-          r.value = it->second;
+        if (const ResultCache::Value* v = cache_.find(key)) {
+          r.value = v->checksum;
+          if (want_payload) r.payload = v->payload;
           hit = true;
         }
       }
     }
     if (!hit) {
+      // Execution-space params: the source translated to its snapshot
+      // position. Payload vertex ids come back in snapshot space and are
+      // translated once, here in the worker — never under the cache lock.
+      algo::QueryParams exec = norm;
+      if (takes_source) exec.set("source", source);
       EnginePool::Lease lease = pool_.lease(snap);
-      r.value = a->run(lease.engine(), source);
+      algo::QueryPayload payload = spec->run(lease.engine(), exec);
       lease.release();
+      // The fold runs in snapshot order — the order the legacy surface
+      // sums in — so checksums stay byte-identical across orderings.
+      r.value = spec->checksum(payload);
+      // Translation is skipped entirely when nobody will see the payload
+      // (checksum-only query, cache off) — scalar answers stay cheap.
+      std::shared_ptr<const algo::QueryPayload> shared;
+      if (want_payload || opts_.enable_cache)
+        shared = std::make_shared<const algo::QueryPayload>(
+            perm != nullptr
+                ? algo::translate_to_original_ids(payload, *perm)
+                : std::move(payload));
+      if (want_payload) r.payload = shared;
       if (opts_.enable_cache) {
-        std::lock_guard<std::mutex> lk(cache_mutex_);
-        if (cache_version_ != snap.version()) {
-          // First entry for a new epoch (or a publish raced us): start a
-          // fresh cache generation. An older-epoch result is simply not
-          // cached — snap.version() < cache_version_ must never
-          // resurrect entries for a superseded graph.
-          if (cache_version_ < snap.version()) {
-            cache_.clear();
-            cache_version_ = snap.version();
-            cache_.emplace(key, r.value);
+        std::uint64_t evicted_before = 0, evicted_after = 0;
+        {
+          std::lock_guard<std::mutex> lk(cache_mutex_);
+          evicted_before = cache_.evictions();
+          if (cache_version_ != snap.version()) {
+            // First entry for a new epoch (or a publish raced us): start a
+            // fresh cache generation. An older-epoch result is simply not
+            // cached — snap.version() < cache_version_ must never
+            // resurrect entries for a superseded graph.
+            if (cache_version_ < snap.version()) {
+              cache_.clear();
+              cache_version_ = snap.version();
+              cache_.insert(key, {r.value, shared});
+            }
+          } else {
+            cache_.insert(key, {r.value, shared});
           }
-        } else {
-          if (cache_.size() >= opts_.cache_capacity) {
-            cache_.clear();  // wholesale eviction; counted below
-            std::lock_guard<std::mutex> slk(stats_mutex_);
-            ++stats_.invalidations;
-          }
-          cache_.emplace(key, r.value);
+          evicted_after = cache_.evictions();
+        }
+        if (evicted_after != evicted_before) {
+          std::lock_guard<std::mutex> slk(stats_mutex_);
+          stats_.evictions += evicted_after - evicted_before;
         }
       }
     }
@@ -203,7 +237,7 @@ void GraphService::process(Item& item) {
 
 void GraphService::invalidate_cache() {
   std::lock_guard<std::mutex> lk(cache_mutex_);
-  if (!cache_.empty()) {
+  if (cache_.size() != 0) {
     cache_.clear();
     std::lock_guard<std::mutex> slk(stats_mutex_);
     ++stats_.invalidations;

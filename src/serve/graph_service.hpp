@@ -23,16 +23,29 @@
 // backpressure explicitly and can shed or retry — the queue never blocks
 // a client.
 //
+// Queries are typed (the algorithms/query.hpp protocol): a registry code
+// plus a QueryParams set validated against the algorithm's ParamSchema
+// (unknown/ill-typed params fail the future with vebo::Error), and a
+// ResultKind selecting the answer shape — the legacy checksum scalar, or
+// the algorithm's typed QueryPayload (per-vertex vectors, top-k lists).
+//
 // Results are futures. Each completed query reports the epoch version it
 // ran on, its submit-to-completion latency (recorded into a histogram;
 // p50/p95/p99 via latency()), and whether it was served from the
-// version-keyed result cache. The cache holds results for the current
-// epoch only and is invalidated on publish — a cached value can never
-// outlive the graph state it was computed on.
+// version-keyed result cache. The cache is keyed canonically on
+// (code, validated params) — spelling, ordering, and default-reliance
+// cannot split semantically identical queries — holds results for the
+// current epoch only, and is wiped on publish; within an epoch, overflow
+// evicts LRU entries (stats: `evictions`, distinct from `invalidations`).
+// A cached value can never outlive the graph state it was computed on.
 //
-// Query.source is in ORIGINAL vertex ids when the published snapshot
-// carries a permutation (publish_session attaches the maintained VEBO
-// ordering); otherwise it names a vertex of the snapshot directly.
+// Query.source / params["source"] and every vertex id inside a returned
+// payload are in ORIGINAL vertex ids when the published snapshot carries
+// a permutation (publish_session attaches the maintained VEBO ordering);
+// otherwise ids name snapshot vertices directly. Per-vertex payloads are
+// translated back to original ids exactly once, inside the worker that
+// computed them (never under the cache lock); scalar answers skip
+// translation entirely.
 #pragma once
 
 #include <cstdint>
@@ -42,11 +55,12 @@
 #include <mutex>
 #include <string>
 #include <thread>
-#include <unordered_map>
 #include <vector>
 
+#include "algorithms/query.hpp"
 #include "graph/permute.hpp"
 #include "serve/engine_pool.hpp"
+#include "serve/result_cache.hpp"
 #include "serve/snapshot_store.hpp"
 #include "stream/session.hpp"
 #include "support/histogram.hpp"
@@ -62,19 +76,36 @@ struct GraphServiceOptions {
   /// Engine pool configuration. max_engines is raised to `workers` if
   /// smaller so no worker can deadlock waiting for an engine.
   EnginePoolOptions engine;
-  /// Version-keyed result cache over (algo, source) for the current
-  /// epoch. Sized in entries; cleared wholesale on publish or overflow.
+  /// Result cache over canonical (code, validated params) keys for the
+  /// current epoch. Sized in entries; wiped on publish, LRU-evicted on
+  /// overflow.
   bool enable_cache = true;
   std::size_t cache_capacity = 4096;
 };
 
+/// What shape of answer the client wants back.
+enum class ResultKind : std::uint8_t {
+  Checksum,  ///< QueryResult::value only (legacy scalar surface)
+  Payload,   ///< also attach the typed QueryPayload in original ids
+};
+
 struct Query {
-  std::string algo;      ///< registry code: "BFS", "CC", "PR", ...
-  VertexId source = 0;   ///< see header comment for the id space
+  std::string algo;     ///< registry code: "BFS", "CC", "PR", ...
+  VertexId source = 0;  ///< legacy source shorthand; see `params`
+  /// Typed parameters, validated against the algorithm's ParamSchema.
+  /// When the schema takes a "source" and the map does not set one, the
+  /// legacy `source` field is used — params win if both are given.
+  /// Vertex-id params are in the header comment's id space.
+  algo::QueryParams params;
+  ResultKind result = ResultKind::Checksum;
 };
 
 struct QueryResult {
-  double value = 0;            ///< the algorithm's checksum
+  double value = 0;            ///< checksum fold of the payload
+  /// The typed payload in original vertex ids; set iff the query asked
+  /// for ResultKind::Payload. Shared with the result cache — treat as
+  /// immutable.
+  std::shared_ptr<const algo::QueryPayload> payload;
   std::uint64_t version = 0;   ///< epoch the query ran on
   bool cache_hit = false;
   double latency_ms = 0;       ///< submit -> completion, queue wait included
@@ -95,7 +126,8 @@ struct GraphServiceStats {
   std::uint64_t completed = 0;
   std::uint64_t failed = 0;     ///< completed exceptionally
   std::uint64_t cache_hits = 0;
-  std::uint64_t invalidations = 0;  ///< cache wipes (publish or overflow)
+  std::uint64_t invalidations = 0;  ///< cache wipes (publish / epoch change)
+  std::uint64_t evictions = 0;      ///< single entries LRU-evicted when full
 };
 
 struct LatencySummary {
@@ -167,10 +199,10 @@ class GraphService {
   /// Single-epoch result cache: entries are valid for `cache_version_`
   /// only. Lookups that observe a newer epoch clear it lazily, so even a
   /// publish bypassing this service (straight into the store) cannot
-  /// cause a stale hit.
+  /// cause a stale hit. Within an epoch the cache LRU-evicts.
   mutable std::mutex cache_mutex_;
   std::uint64_t cache_version_ = 0;
-  std::unordered_map<std::string, double> cache_;
+  ResultCache cache_;
 
   mutable std::mutex stats_mutex_;
   GraphServiceStats stats_;

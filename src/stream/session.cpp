@@ -69,4 +69,20 @@ double StreamSession::query(const std::string& algo_code, VertexId source) {
   return algo::algorithm(algo_code).run(*engine_, position_of(source));
 }
 
+algo::QueryPayload StreamSession::query_typed(const std::string& algo_code,
+                                              const algo::QueryParams& params) {
+  refresh();
+  const algo::AlgorithmSpec& s = algo::spec(algo_code);
+  algo::QueryParams norm = s.params.validate(params);
+  if (s.params.find("source") != nullptr) {
+    const VertexId src = norm.get_vertex("source");
+    VEBO_CHECK(src < delta_.num_vertices(), "query: source out of range");
+    norm.set("source", position_of(src));
+  }
+  ++stats_.queries;
+  const algo::QueryPayload payload = s.run(*engine_, norm);
+  return algo::translate_to_original_ids(payload,
+                                         maintainer_.ordering().perm);
+}
+
 }  // namespace vebo::stream

@@ -62,7 +62,17 @@ class StreamSession {
 
   /// Runs a registry algorithm (code per Table II: "BFS", "CC", "PR", ...)
   /// on the current graph version; `source` is in original vertex ids.
+  /// Legacy checksum surface — the checksum fold of query_typed's payload
+  /// under default params, byte-identical to the pre-protocol values.
   double query(const std::string& algo_code, VertexId source = 0);
+
+  /// Typed query protocol (algorithms/query.hpp): validates `params`
+  /// against the algorithm's ParamSchema (vebo::Error on unknown or
+  /// ill-typed entries), runs on the current version, and returns the
+  /// payload translated back to original vertex ids. "source" params are
+  /// given in original ids too.
+  algo::QueryPayload query_typed(const std::string& algo_code,
+                                 const algo::QueryParams& params = {});
 
   /// Reordered snapshot of the current version (built lazily).
   const Graph& snapshot();

@@ -1,0 +1,392 @@
+// Tests for the typed query protocol (algorithms/query.hpp): schema
+// validation, canonical cache-key encoding, payload accessors and
+// permutation translation, the payload-vs-checksum adapter equivalence
+// for all 8 registry algorithms, and the serving layer's CacheKey /
+// ResultCache (LRU) building blocks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "algorithms/bellman_ford.hpp"
+#include "algorithms/bc.hpp"
+#include "algorithms/bfs.hpp"
+#include "algorithms/bp.hpp"
+#include "algorithms/cc.hpp"
+#include "algorithms/pagerank.hpp"
+#include "algorithms/pagerank_delta.hpp"
+#include "algorithms/registry.hpp"
+#include "algorithms/spmv.hpp"
+#include "gen/rmat.hpp"
+#include "graph/permute.hpp"
+#include "order/vebo.hpp"
+#include "serve/result_cache.hpp"
+#include "support/error.hpp"
+
+namespace vebo {
+namespace {
+
+using algo::AlgorithmSpec;
+using algo::ParamSchema;
+using algo::ParamType;
+using algo::PayloadKind;
+using algo::QueryParams;
+using algo::QueryPayload;
+using algo::VertexScore;
+
+// ------------------------------------------------------ schema validation
+
+ParamSchema demo_schema() {
+  return ParamSchema{
+      {"iterations", ParamType::Int, std::int64_t{10}, "iters"},
+      {"damping", ParamType::Float, 0.85, "damping"},
+  };
+}
+
+TEST(QuerySchema, FillsDefaultsAndKeepsExplicitValues) {
+  const QueryParams norm = demo_schema().validate(
+      QueryParams().set("iterations", 3));
+  EXPECT_EQ(norm.get_int("iterations"), 3);
+  EXPECT_EQ(norm.get_float("damping"), 0.85);
+  EXPECT_EQ(norm.size(), 2u);
+}
+
+TEST(QuerySchema, RejectsUnknownParams) {
+  EXPECT_THROW(demo_schema().validate(QueryParams().set("dampng", 0.85)),
+               Error);
+  EXPECT_THROW(
+      algo::spec("CC").params.validate(QueryParams().set("source", 0)),
+      Error);  // CC takes no params at all
+}
+
+TEST(QuerySchema, RejectsIllTypedParamsButWidensIntToFloat) {
+  // A float into an Int param is ill-typed (never silently truncated)...
+  EXPECT_THROW(demo_schema().validate(QueryParams().set("iterations", 2.5)),
+               Error);
+  // ...but an int into a Float param widens exactly.
+  const QueryParams norm =
+      demo_schema().validate(QueryParams().set("damping", 1));
+  EXPECT_EQ(norm.get_float("damping"), 1.0);
+}
+
+TEST(QuerySchema, TypedGettersThrowOnMissingOrMismatch) {
+  QueryParams p;
+  p.set("a", 3).set("b", 0.5).set("neg", -1);
+  EXPECT_EQ(p.get_int("a"), 3);
+  EXPECT_EQ(p.get_float("a"), 3.0);  // widening read is fine
+  EXPECT_THROW(p.get_int("b"), Error);
+  EXPECT_THROW(p.get_int("nope"), Error);
+  EXPECT_EQ(p.get_vertex("a"), 3u);
+  EXPECT_THROW(p.get_vertex("neg"), Error);
+}
+
+TEST(QuerySchema, SpecInvokeValidates) {
+  const Graph g = gen::rmat(7, 4, 1);
+  const Engine eng(g, SystemModel::Ligra);
+  EXPECT_THROW(
+      algo::spec("PR").invoke(eng, QueryParams().set("sources", 0)),
+      Error);
+  EXPECT_THROW(
+      algo::spec("BFS").invoke(eng, QueryParams().set("source", 0.5)),
+      Error);
+  // Valid params run; out-of-range top_k values are rejected by the spec.
+  EXPECT_THROW(
+      algo::spec("PR").invoke(eng, QueryParams().set("top_k", -1)), Error);
+  EXPECT_EQ(algo::spec("BFS").invoke(eng).kind(), PayloadKind::VertexIds);
+}
+
+// ------------------------------------------------- canonical cache keys
+
+TEST(CanonicalKey, IndependentOfParamOrderSpellingAndDefaults) {
+  const ParamSchema s = demo_schema();
+  const std::string a = algo::canonical_query_key(
+      "PR", s.validate(QueryParams().set("iterations", 10).set("damping",
+                                         0.85)));
+  const std::string b = algo::canonical_query_key(
+      "PR", s.validate(QueryParams().set("damping", 0.85).set("iterations",
+                                         10)));
+  const std::string c =
+      algo::canonical_query_key("PR", s.validate(QueryParams()));
+  EXPECT_EQ(a, b);  // order
+  EXPECT_EQ(a, c);  // default-fill
+  // Float spelling: an int 1 widened into a Float param encodes exactly
+  // like the double 1.0.
+  EXPECT_EQ(
+      algo::canonical_query_key("PR",
+                                s.validate(QueryParams().set("damping", 1))),
+      algo::canonical_query_key(
+          "PR", s.validate(QueryParams().set("damping", 1.0))));
+}
+
+TEST(CanonicalKey, DistinctSemanticsNeverCollide) {
+  // Exhaustive-ish: distinct (code, params) pairs must all encode
+  // differently, including floats that print identically at default
+  // precision ("0.1" vs nextafter) and int-vs-float type punning.
+  std::set<std::string> keys;
+  const ParamSchema s = demo_schema();
+  const double d1 = 0.1;
+  const double d2 = std::nextafter(0.1, 1.0);
+  for (const std::string code : {"PR", "PRX"})
+    for (std::int64_t it : {0, 1, 2, 10})
+      for (double damping : {0.0, 0.5, d1, d2, 1.0})
+        keys.insert(algo::canonical_query_key(
+            code, s.validate(QueryParams()
+                                 .set("iterations", it)
+                                 .set("damping", damping))));
+  EXPECT_EQ(keys.size(), 2u * 4u * 5u);
+
+  // Same numeric value, different type: tagged apart.
+  EXPECT_NE(algo::canonical_query_key("X", QueryParams().set("k", 1)),
+            algo::canonical_query_key("X", QueryParams().set("k", 1.0)));
+}
+
+TEST(CanonicalKey, CacheKeyHashAgreesWithEquality) {
+  const ParamSchema s = demo_schema();
+  const serve::CacheKey a =
+      serve::CacheKey::make("PR", s.validate(QueryParams()));
+  const serve::CacheKey b = serve::CacheKey::make(
+      "PR", s.validate(QueryParams().set("damping", 0.85)));
+  const serve::CacheKey c = serve::CacheKey::make(
+      "PR", s.validate(QueryParams().set("damping", 0.5)));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash, b.hash);
+  EXPECT_FALSE(a == c);
+}
+
+// --------------------------------------------------------- ResultCache
+
+serve::CacheKey key_of(int i) {
+  return serve::CacheKey::make("K" + std::to_string(i), QueryParams());
+}
+
+TEST(ResultCache, LruEvictsOldestNotEverything) {
+  serve::ResultCache cache(2);
+  cache.insert(key_of(1), {1.0, nullptr});
+  cache.insert(key_of(2), {2.0, nullptr});
+  ASSERT_NE(cache.find(key_of(1)), nullptr);  // bumps 1 over 2
+  cache.insert(key_of(3), {3.0, nullptr});    // evicts 2, not the world
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.find(key_of(2)), nullptr);
+  ASSERT_NE(cache.find(key_of(1)), nullptr);
+  EXPECT_EQ(cache.find(key_of(1))->checksum, 1.0);
+  ASSERT_NE(cache.find(key_of(3)), nullptr);
+
+  // Refreshing an existing key is not an eviction.
+  cache.insert(key_of(3), {3.5, nullptr});
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.find(key_of(3))->checksum, 3.5);
+
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.evictions(), 1u);  // wipes are not evictions
+}
+
+// ----------------------------------------------------- payload mechanics
+
+TEST(QueryPayload, AccessorsThrowOnKindMismatch) {
+  const QueryPayload s = QueryPayload::scalar(3.5);
+  EXPECT_EQ(s.kind(), PayloadKind::Scalar);
+  EXPECT_EQ(s.scalar_value(), 3.5);
+  EXPECT_EQ(s.num_entries(), 1u);
+  EXPECT_THROW(s.doubles(), Error);
+  EXPECT_THROW(s.ids(), Error);
+  EXPECT_THROW(s.top(), Error);
+
+  const QueryPayload v = QueryPayload::vertex_doubles({1.0, 2.0});
+  EXPECT_EQ(v.kind(), PayloadKind::VertexDoubles);
+  EXPECT_EQ(v.num_entries(), 2u);
+  EXPECT_THROW(v.scalar_value(), Error);
+}
+
+TEST(QueryPayload, TopKOfIsDeterministicWithTieBreak) {
+  const std::vector<double> scores = {0.5, 2.0, 0.5, 3.0, 2.0};
+  const auto top = algo::top_k_of(scores, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], (VertexScore{3, 3.0}));
+  EXPECT_EQ(top[1], (VertexScore{1, 2.0}));  // vertex-id tie-break
+  EXPECT_EQ(top[2], (VertexScore{4, 2.0}));
+  // k > n degrades to a full ranking.
+  EXPECT_EQ(algo::top_k_of(scores, 99).size(), scores.size());
+}
+
+TEST(QueryPayload, TranslationReindexesAndMapsIdValues) {
+  // perm: original v -> position. original {0,1,2,3} -> positions
+  // {2,0,3,1}.
+  const Permutation perm = {2, 0, 3, 1};
+  const QueryPayload doubles =
+      QueryPayload::vertex_doubles({10.0, 11.0, 12.0, 13.0});
+  const QueryPayload t = translate_to_original_ids(doubles, perm);
+  EXPECT_EQ(t.doubles(), (std::vector<double>{12.0, 10.0, 13.0, 11.0}));
+
+  // Levels (counts) reindex without value mapping.
+  const QueryPayload lv = QueryPayload::vertex_ids({7, 8, 9, kInvalidVertex});
+  EXPECT_EQ(translate_to_original_ids(lv, perm).ids(),
+            (std::vector<VertexId>{9, 7, kInvalidVertex, 8}));
+
+  // Id-valued vectors (CC labels) map values through the inverse too:
+  // snapshot position p -> original id inv[p].
+  const QueryPayload labels = QueryPayload::vertex_ids(
+      {0, 0, 3, kInvalidVertex}, /*values_are_vertex_ids=*/true);
+  const QueryPayload lt = translate_to_original_ids(labels, perm);
+  // inv = {1, 3, 0, 2}; value 0 -> 1, value 3 -> 2.
+  EXPECT_EQ(lt.ids(), (std::vector<VertexId>{2, 1, kInvalidVertex, 1}));
+  EXPECT_TRUE(lt.values_are_vertex_ids());
+
+  // Top-k vertices map through the inverse.
+  const QueryPayload tk = QueryPayload::top_k({{2, 9.0}, {0, 5.0}});
+  const QueryPayload tkt = translate_to_original_ids(tk, perm);
+  EXPECT_EQ(tkt.top()[0], (VertexScore{0, 9.0}));
+  EXPECT_EQ(tkt.top()[1], (VertexScore{1, 5.0}));
+
+  // Size mismatches are caught, not silently misindexed.
+  EXPECT_THROW(
+      translate_to_original_ids(QueryPayload::vertex_doubles({1.0}), perm),
+      Error);
+}
+
+// --------------------------------- adapter equivalence (all 8 algorithms)
+
+// The legacy AlgorithmInfo::run surface must reproduce the pre-protocol
+// checksums exactly: same algorithm entry points, same serial fold order.
+TEST(AdapterEquivalence, ChecksumFoldsMatchDirectCallsForAll8) {
+  const Graph g = gen::rmat(8, 4, 5);
+  const Engine eng(g, SystemModel::GraphGrind, {.partitions = 8});
+  const VertexId src = 0;
+
+  {  // BC: serial dependency sum
+    const auto r = algo::betweenness(eng, src);
+    double sum = 0;
+    for (double d : r.dependency) sum += d;
+    EXPECT_EQ(algo::algorithm("BC").run(eng, src), sum);
+  }
+  {  // CC: component count
+    const auto r = algo::connected_components(eng);
+    EXPECT_EQ(algo::algorithm("CC").run(eng, src),
+              static_cast<double>(r.num_components));
+  }
+  {  // PR: total mass at 10 iterations
+    EXPECT_EQ(algo::algorithm("PR").run(eng, src),
+              algo::pagerank(eng, {.iterations = 10}).total_mass);
+  }
+  {  // BFS: reached count
+    EXPECT_EQ(algo::algorithm("BFS").run(eng, src),
+              static_cast<double>(algo::bfs(eng, src).reached));
+  }
+  {  // PRD: serial rank sum
+    const auto r = algo::pagerank_delta(eng);
+    double sum = 0;
+    for (double x : r.rank) sum += x;
+    EXPECT_EQ(algo::algorithm("PRD").run(eng, src), sum);
+  }
+  {  // SPMV: y-sum checksum
+    EXPECT_EQ(algo::algorithm("SPMV").run(eng, src),
+              algo::spmv(eng).checksum);
+  }
+  {  // BF: reached count
+    EXPECT_EQ(algo::algorithm("BF").run(eng, src),
+              static_cast<double>(algo::bellman_ford(eng, src).reached));
+  }
+  {  // BP: last-iteration residual
+    EXPECT_EQ(algo::algorithm("BP").run(eng, src),
+              algo::belief_propagation(eng).residual);
+  }
+}
+
+TEST(AdapterEquivalence, LegacySurfaceForwardsTheSource) {
+  const Graph g = gen::rmat(9, 6, 6);
+  const Engine eng(g, SystemModel::Polymer);
+  // Source-taking algorithms must not collapse onto source 0.
+  const auto reached = [&](VertexId s) {
+    return algo::algorithm("BFS").run(eng, s);
+  };
+  EXPECT_EQ(reached(7), static_cast<double>(algo::bfs(eng, 7).reached));
+  // Spec metadata survived the redesign.
+  EXPECT_EQ(algo::algorithms().size(), 8u);
+  EXPECT_EQ(algo::specs().size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(algo::algorithms()[i].code, algo::specs()[i].code);
+    EXPECT_EQ(algo::algorithms()[i].edge_oriented,
+              algo::specs()[i].edge_oriented);
+  }
+}
+
+// -------------------------- permutation round-trip (quickstart workflow)
+
+// The quickstart pipeline: rmat graph -> VEBO -> permute -> engine. A
+// payload computed on the reordered graph and translated back must agree
+// with the same algorithm on the original-order graph. (Restricted to
+// the structural algorithms — SPMV/BF/BP derive weights/priors from
+// vertex ids, so their answers are ordering-dependent by construction.)
+TEST(PayloadTranslation, RoundTripsThroughVeboReordering) {
+  const Graph g = gen::rmat(10, 8, 3);
+  const order::VeboResult r = order::vebo(g, 8);
+  const Graph h = permute(g, r.perm);
+  const Engine orig(g, SystemModel::Polymer);
+  EngineOptions eo;
+  eo.explicit_partitioning = &r.partitioning;
+  const Engine reord(h, SystemModel::Polymer, eo);
+  const VertexId src = 5;
+
+  {  // BFS levels: exact structural equality.
+    const auto& s = algo::spec("BFS");
+    const QueryPayload want =
+        s.invoke(orig, QueryParams().set("source", src));
+    const QueryPayload got = translate_to_original_ids(
+        s.invoke(reord, QueryParams().set("source", r.perm[src])), r.perm);
+    EXPECT_EQ(got.ids(), want.ids());
+  }
+  {  // CC: identical component structure; translated labels are valid
+     // original-id members of their own component.
+    const auto& s = algo::spec("CC");
+    const QueryPayload want = s.invoke(orig);
+    const QueryPayload got =
+        translate_to_original_ids(s.invoke(reord), r.perm);
+    const auto& wl = want.ids();
+    const auto& gl = got.ids();
+    ASSERT_EQ(gl.size(), wl.size());
+    for (VertexId v = 0; v < gl.size(); ++v) {
+      ASSERT_LT(gl[v], gl.size());
+      // got's label names a vertex in the same want-component as v...
+      EXPECT_EQ(wl[gl[v]], wl[v]);
+      // ...and labels partition identically (same label <=> same comp).
+      EXPECT_EQ(gl[v], gl[wl[v]]);
+    }
+  }
+  {  // PR: ranks match per original vertex (order-of-summation noise
+     // only), and the translated top-k is consistent with the full
+     // translated vector.
+    const auto& s = algo::spec("PR");
+    const QueryPayload want = s.invoke(orig);
+    const QueryPayload got =
+        translate_to_original_ids(s.invoke(reord), r.perm);
+    ASSERT_EQ(got.doubles().size(), want.doubles().size());
+    for (std::size_t v = 0; v < want.doubles().size(); ++v)
+      EXPECT_NEAR(got.doubles()[v], want.doubles()[v], 1e-12);
+
+    const QueryPayload topk = translate_to_original_ids(
+        s.invoke(reord, QueryParams().set("top_k", 5)), r.perm);
+    ASSERT_EQ(topk.top().size(), 5u);
+    double prev = std::numeric_limits<double>::infinity();
+    for (const VertexScore& e : topk.top()) {
+      EXPECT_EQ(e.score, got.doubles()[e.vertex]);
+      EXPECT_LE(e.score, prev);
+      prev = e.score;
+    }
+  }
+  {  // BC: dependencies are structural too.
+    const auto& s = algo::spec("BC");
+    const QueryPayload want =
+        s.invoke(orig, QueryParams().set("source", src));
+    const QueryPayload got = translate_to_original_ids(
+        s.invoke(reord, QueryParams().set("source", r.perm[src])), r.perm);
+    ASSERT_EQ(got.doubles().size(), want.doubles().size());
+    for (std::size_t v = 0; v < want.doubles().size(); ++v)
+      EXPECT_NEAR(got.doubles()[v], want.doubles()[v], 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace vebo

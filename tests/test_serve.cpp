@@ -597,6 +597,152 @@ TEST(GraphService, LatencyPercentilesAreRecorded) {
   EXPECT_GT(lat.mean_ms, 0.0);
 }
 
+// ------------------------------------- typed query protocol end-to-end
+
+// The ISSUE-4 acceptance path: a client retrieves per-vertex PageRank and
+// BFS payloads addressed in ORIGINAL vertex ids, across a streaming
+// publish that re-permutes the snapshot. Ground truth is the serial
+// session's typed surface on the same version.
+TEST(GraphService, TypedPayloadsInOriginalIdsAcrossPublish) {
+  const Graph base = gen::rmat(9, 8, 101);
+  StreamSession session(base);
+  SnapshotStore store;
+  GraphService service(store, small_service());
+  service.publish_session(session);
+
+  const auto check_epoch = [&](std::uint64_t version) {
+    // Per-vertex PageRank scores by original id.
+    Query pr;
+    pr.algo = "PR";
+    pr.params.set("iterations", 5);
+    pr.result = serve::ResultKind::Payload;
+    const QueryResult got = service.query(pr);
+    ASSERT_NE(got.payload, nullptr);
+    EXPECT_EQ(got.version, version);
+    const algo::QueryPayload want = session.query_typed(
+        "PR", algo::QueryParams().set("iterations", 5));
+    EXPECT_EQ(got.payload->doubles(), want.doubles());
+
+    // BFS levels from an original-id source.
+    Query bfs;
+    bfs.algo = "BFS";
+    bfs.params.set("source", 3);
+    bfs.result = serve::ResultKind::Payload;
+    const QueryResult lv = service.query(bfs);
+    ASSERT_NE(lv.payload, nullptr);
+    const algo::QueryPayload lw = session.query_typed(
+        "BFS", algo::QueryParams().set("source", 3));
+    EXPECT_EQ(lv.payload->ids(), lw.ids());
+    // The checksum rides along with the payload.
+    EXPECT_EQ(lv.value, session.query("BFS", 3));
+
+    // Top-k payloads name original vertices with their true scores.
+    Query top;
+    top.algo = "PR";
+    top.params.set("iterations", 5).set("top_k", 4);
+    top.result = serve::ResultKind::Payload;
+    const QueryResult tk = service.query(top);
+    ASSERT_NE(tk.payload, nullptr);
+    ASSERT_EQ(tk.payload->top().size(), 4u);
+    for (const auto& [v, score] : tk.payload->top())
+      EXPECT_EQ(score, want.doubles()[v]);
+  };
+
+  check_epoch(1);
+
+  // A batch big enough to move the VEBO maintainer, then a new epoch:
+  // original ids must keep meaning the same vertices.
+  Xoshiro256 rng(17);
+  session.apply(random_batch(rng, base.num_vertices(), 2048));
+  service.publish_session(session);
+  check_epoch(2);
+}
+
+// Checksum-only queries still carry no payload, and semantically equal
+// queries hit one cache entry no matter how the params are spelled.
+TEST(GraphService, CanonicalKeysHitAcrossParamSpellings) {
+  const Graph base = gen::rmat(8, 4, 102);
+  StreamSession session(base);
+  SnapshotStore store;
+  GraphService service(store, small_service(1));
+  service.publish_session(session);
+
+  Query a;
+  a.algo = "PR";  // all defaults
+  const QueryResult miss = service.query(a);
+  EXPECT_FALSE(miss.cache_hit);
+  EXPECT_EQ(miss.payload, nullptr);  // Checksum kind carries no payload
+
+  Query b;
+  b.algo = "PR";  // defaults spelled out, different insertion order
+  b.params.set("damping", 0.85).set("top_k", 0).set("iterations", 10);
+  const QueryResult hit = service.query(b);
+  EXPECT_TRUE(hit.cache_hit);
+  EXPECT_EQ(hit.value, miss.value);
+
+  // A payload request for the same key also hits: payloads are cached
+  // (translated) even when first computed for a checksum query.
+  Query c = b;
+  c.result = serve::ResultKind::Payload;
+  const QueryResult pay = service.query(c);
+  EXPECT_TRUE(pay.cache_hit);
+  ASSERT_NE(pay.payload, nullptr);
+  EXPECT_EQ(pay.payload->num_entries(), base.num_vertices());
+
+  // Distinct params are distinct keys.
+  Query d;
+  d.algo = "PR";
+  d.params.set("iterations", 3);
+  EXPECT_FALSE(service.query(d).cache_hit);
+
+  // Ill-typed and unknown params fail the future with vebo::Error.
+  Query bad;
+  bad.algo = "PR";
+  bad.params.set("iterations", 2.5);
+  EXPECT_THROW(service.query(bad), Error);
+  Query unknown;
+  unknown.algo = "PR";
+  unknown.params.set("dampening", 0.85);
+  EXPECT_THROW(service.query(unknown), Error);
+}
+
+// Overflow evicts LRU entries one at a time (counted separately);
+// publishes still wipe.
+TEST(GraphService, CacheLruEvictionAndPublishWipeAreDistinct) {
+  const Graph base = gen::rmat(8, 4, 103);
+  StreamSession session(base);
+  SnapshotStore store;
+  GraphServiceOptions o = small_service(1);
+  o.cache_capacity = 2;
+  GraphService service(store, o);
+  service.publish_session(session);
+
+  const auto pr_iters = [](int iters) {
+    Query q;
+    q.algo = "PR";
+    q.params.set("iterations", iters);
+    return q;
+  };
+  service.query(pr_iters(1));
+  service.query(pr_iters(2));
+  EXPECT_EQ(service.stats().evictions, 0u);
+  service.query(pr_iters(1));  // bump 1 to MRU
+  service.query(pr_iters(3));  // evicts iterations=2
+  EXPECT_EQ(service.stats().evictions, 1u);
+  EXPECT_TRUE(service.query(pr_iters(1)).cache_hit);   // survived (MRU)
+  EXPECT_FALSE(service.query(pr_iters(2)).cache_hit);  // evicted
+  const std::uint64_t evictions_before = service.stats().evictions;
+  const std::uint64_t invalidations_before = service.stats().invalidations;
+
+  session.apply(std::vector<EdgeUpdate>{EdgeUpdate::insert(0, 5)});
+  service.publish_session(session);
+  EXPECT_EQ(service.stats().invalidations, invalidations_before + 1);
+  EXPECT_FALSE(service.query(pr_iters(1)).cache_hit);  // wiped by publish
+  // The wipe counts as an invalidation only — repopulating the emptied
+  // cache evicted nothing.
+  EXPECT_EQ(service.stats().evictions, evictions_before);
+}
+
 // The mixed-traffic case the subsystem exists for: one writer applying
 // batches and publishing epochs while concurrent clients keep querying.
 // Clients must never observe a failure, a torn graph, or a version going
