@@ -60,8 +60,7 @@ BcResult betweenness(const Engine& eng, VertexId source) {
     // Note: cond() must stay true for v during the whole round so that
     // every same-level predecessor contributes to sigma[v]; visited is
     // only updated after the edgemap (Ligra's BC does the same).
-    VertexSubset next =
-        edge_map(eng, frontier, f, {.pull_early_exit = false});
+    VertexSubset next = edge_map(eng, frontier, f, {.flags = kNoFlags});
     ++depth;
     vertex_map(eng, next, [&](VertexId v) {
       visited.set(v);
@@ -100,8 +99,12 @@ BcResult betweenness(const Engine& eng, VertexId source) {
   BcResult res;
   res.dependency = std::move(delta);
   res.num_paths.resize(n);
-  for (VertexId v = 0; v < n; ++v)
-    res.num_paths[v] = sigma[v].load(std::memory_order_relaxed);
+  parallel_for(
+      0, n,
+      [&](std::size_t v) {
+        res.num_paths[v] = sigma[v].load(std::memory_order_relaxed);
+      },
+      eng.vertex_loop());
   res.levels = static_cast<int>(levels.size());
   return res;
 }

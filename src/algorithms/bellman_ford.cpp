@@ -50,15 +50,19 @@ BellmanFordResult bellman_ford(const Engine& eng, VertexId source) {
   // negative cycles; the frontier empties much earlier in practice).
   while (!frontier.empty_set() &&
          res.rounds < static_cast<int>(n)) {
-    frontier = edge_map(eng, frontier, f, {.pull_early_exit = false});
+    frontier = edge_map(eng, frontier, f, {.flags = kNoFlags});
     ++res.rounds;
   }
 
   res.distance.resize(n);
-  for (VertexId v = 0; v < n; ++v) {
-    res.distance[v] = dist[v].load(std::memory_order_relaxed);
-    if (res.distance[v] != kUnreachable) ++res.reached;
-  }
+  // Parallel copy fused with the reached count (mirrors bfs's tail).
+  res.reached = parallel_reduce<VertexId>(
+      0, n, 0,
+      [&](std::size_t v) {
+        res.distance[v] = dist[v].load(std::memory_order_relaxed);
+        return res.distance[v] != kUnreachable ? 1u : 0u;
+      },
+      [](VertexId a, VertexId b) { return a + b; }, eng.vertex_loop());
   return res;
 }
 

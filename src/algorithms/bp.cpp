@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "framework/edgemap.hpp"
 #include "support/error.hpp"
 #include "support/prng.hpp"
 
@@ -32,10 +33,12 @@ BpResult belief_propagation(const Engine& eng, const BpOptions& opts) {
         eng.vertex_loop());
 
     // Accumulate incoming messages per destination (edge-proportional
-    // work, disjoint destination writes when partitioned).
-    std::fill(incoming.begin(), incoming.end(), 0.0);
+    // work, disjoint destination writes).
     if (eng.partitioned()) {
       const PartitionedCoo& coo = eng.partitioned_coo();
+      parallel_for(
+          0, n, [&](std::size_t v) { incoming[v] = 0.0; },
+          eng.vertex_loop());
       parallel_for(
           0, coo.num_partitions(),
           [&](std::size_t p) {
@@ -44,24 +47,24 @@ BpResult belief_propagation(const Engine& eng, const BpOptions& opts) {
           },
           eng.partition_loop());
     } else {
-      parallel_for(
-          0, n,
-          [&](std::size_t v) {
-            double acc = 0.0;
-            for (VertexId u : g.in_neighbors(static_cast<VertexId>(v)))
-              acc += msg[u];
-            incoming[v] = acc;
-          },
-          eng.vertex_loop());
+      // Unified dense fold kernel (edge-balanced CSC pull); commit
+      // covers every destination, so no zero-fill pass is needed.
+      edge_fold<double>(
+          eng, [&](VertexId u, VertexId) { return msg[u]; },
+          [&](VertexId v, double a) { incoming[v] = a; });
     }
 
-    // Belief update + residual.
-    double total_change = 0.0;
-    for (VertexId v = 0; v < n; ++v) {
-      const double nb = prior[v] + incoming[v];
-      total_change += std::abs(nb - belief[v]);
-      belief[v] = nb;
-    }
+    // Belief update fused with the residual fold — parallel, and
+    // deterministic so reruns reproduce the same residual exactly.
+    const double total_change = deterministic_sum<double>(
+        0, n,
+        [&](std::size_t v) {
+          const double nb = prior[v] + incoming[v];
+          const double ch = std::abs(nb - belief[v]);
+          belief[v] = nb;
+          return ch;
+        },
+        eng.vertex_loop());
     res.residual = total_change / static_cast<double>(n);
     res.iterations = it + 1;
   }

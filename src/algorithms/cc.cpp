@@ -1,7 +1,6 @@
 #include "algorithms/cc.hpp"
 
 #include <atomic>
-#include <unordered_set>
 
 #include "framework/edgemap.hpp"
 
@@ -102,12 +101,16 @@ CcResult connected_components(const Engine& eng) {
 
   CcResult res;
   res.label.resize(n);
-  std::unordered_set<VertexId> roots;
-  for (VertexId v = 0; v < n; ++v) {
-    res.label[v] = label[v].load(std::memory_order_relaxed);
-    roots.insert(res.label[v]);
-  }
-  res.num_components = static_cast<VertexId>(roots.size());
+  // Parallel copy fused with the component count: converged labels are
+  // component minima, so label[v] == v holds for exactly one vertex per
+  // component (integer sum — deterministic under any schedule).
+  res.num_components = parallel_reduce<VertexId>(
+      0, n, 0,
+      [&](std::size_t v) {
+        res.label[v] = label[v].load(std::memory_order_relaxed);
+        return res.label[v] == static_cast<VertexId>(v) ? 1u : 0u;
+      },
+      [](VertexId a, VertexId b) { return a + b; }, eng.vertex_loop());
   res.rounds = rounds;
   return res;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "framework/edgemap.hpp"
 #include "support/error.hpp"
 #include "support/timer.hpp"
 
@@ -44,23 +45,26 @@ PageRankResult pagerank(const Engine& eng, const PageRankOptions& opts) {
           [&](std::size_t v) { next[v] = base + opts.damping * next[v]; },
           eng.vertex_loop());
     } else {
-      // CSC pull: each destination sums its in-neighbors' contributions.
-      parallel_for(
-          0, n,
-          [&](std::size_t v) {
-            double acc = 0.0;
-            for (VertexId u : g.in_neighbors(static_cast<VertexId>(v)))
-              acc += contrib[u];
+      // CSC pull through the framework's unified dense fold kernel:
+      // probe-free, output-free, register-accumulating, edge-balanced on
+      // Ligra and partition-per-task on the partitioned models. The
+      // accumulation order is the in-neighbor order, so values are
+      // identical to the old hand-rolled loop.
+      edge_fold<double>(
+          eng, [&](VertexId u, VertexId) { return contrib[u]; },
+          [&](VertexId v, double acc) {
             next[v] = base + opts.damping * acc;
-          },
-          eng.vertex_loop());
+          });
     }
     rank.swap(next);
   }
 
   PageRankResult res;
   res.iterations = opts.iterations;
-  for (double r : rank) res.total_mass += r;
+  // Deterministic block fold: parallel, but a pure function of the rank
+  // vector — block_sum reproduces it exactly from the payload.
+  res.total_mass = deterministic_sum<double>(
+      0, n, [&](std::size_t v) { return rank[v]; }, eng.vertex_loop());
   res.rank = std::move(rank);
   return res;
 }
@@ -91,7 +95,9 @@ AlgorithmSpec pagerank_spec() {
     out.aux = r.total_mass;
     return out;
   };
-  s.checksum = serial_sum;  // == legacy total_mass for the full vector
+  // Deterministic block fold == legacy total_mass for the full vector
+  // (total_mass is computed with the same deterministic_sum).
+  s.checksum = block_sum;
   return s;
 }
 

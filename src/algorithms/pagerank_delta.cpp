@@ -34,35 +34,14 @@ PageRankDeltaResult pagerank_delta(const Engine& eng,
       contrib[u] = d ? delta[u] / static_cast<double>(d) : 0.0;
     });
 
-    // acc[v] = sum of contrib over active in-neighbors. Dense pull per
-    // destination (single writer per v, race-free).
-    frontier.to_dense(eng.vertex_loop());
-    const DynamicBitset& fbits = frontier.bits();
-    auto pull_range = [&](VertexId lo, VertexId hi) {
-      for (VertexId v = lo; v < hi; ++v) {
-        double a = 0.0;
-        for (VertexId u : g.in_neighbors(v))
-          if (fbits.get(u)) a += contrib[u];
-        acc[v] = a;
-      }
-    };
-    if (eng.partitioned()) {
-      const auto& part = eng.partitioning();
-      parallel_for(
-          0, part.num_partitions(),
-          [&](std::size_t p) {
-            pull_range(part.begin(static_cast<VertexId>(p)),
-                       part.end(static_cast<VertexId>(p)));
-          },
-          eng.partition_loop());
-    } else {
-      parallel_for_range(
-          0, n,
-          [&](std::size_t lo, std::size_t hi) {
-            pull_range(static_cast<VertexId>(lo), static_cast<VertexId>(hi));
-          },
-          eng.vertex_loop());
-    }
+    // acc[v] = sum of contrib over active in-neighbors, via the unified
+    // dense fold kernel (single writer per v, race-free; edge-balanced
+    // on Ligra). The complete first rounds dispatch to the probe-free
+    // specialization; the activation set comes from the delta pass
+    // below, so the traversal runs fully output-free.
+    edge_fold<double>(
+        eng, frontier, [&](VertexId u, VertexId) { return contrib[u]; },
+        [&](VertexId v, double a) { acc[v] = a; });
 
     // New delta and the next frontier: vertices whose rank moved by more
     // than epsilon relative to its magnitude stay active. On the first

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "parallel/parallel_for.hpp"
 #include "support/error.hpp"
 
 namespace vebo::algo {
@@ -250,6 +251,13 @@ double serial_sum(const QueryPayload& p) {
       return sum;
   }
   return sum;
+}
+
+double block_sum(const QueryPayload& p) {
+  if (p.kind() != PayloadKind::VertexDoubles) return serial_sum(p);
+  const std::vector<double>& v = p.doubles();
+  return deterministic_sum<double>(0, v.size(),
+                                   [&](std::size_t i) { return v[i]; });
 }
 
 std::vector<VertexScore> top_k_of(std::span<const double> scores,

@@ -223,4 +223,11 @@ std::vector<VertexScore> top_k_of(std::span<const double> scores,
 /// order matches the pre-protocol serial loops bit-for-bit.
 double serial_sum(const QueryPayload& p);
 
+/// Deterministic parallel block fold of a per-vertex double payload (see
+/// deterministic_sum): the fold used by algorithms whose legacy scalar is
+/// itself computed with deterministic_sum (PR's total_mass, SPMV's
+/// checksum), so adapter values stay exactly equal to the in-algorithm
+/// result. Non-VertexDoubles payloads fall back to serial_sum.
+double block_sum(const QueryPayload& p);
+
 }  // namespace vebo::algo

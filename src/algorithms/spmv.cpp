@@ -1,5 +1,6 @@
 #include "algorithms/spmv.hpp"
 
+#include "framework/edgemap.hpp"
 #include "support/error.hpp"
 #include "support/prng.hpp"
 
@@ -30,17 +31,17 @@ SpmvResult spmv(const Engine& eng, const std::vector<double>& x) {
         },
         eng.partition_loop());
   } else {
-    parallel_for(
-        0, n,
-        [&](std::size_t v) {
-          double acc = 0.0;
-          for (VertexId u : g.in_neighbors(static_cast<VertexId>(v)))
-            acc += edge_weight(u, static_cast<VertexId>(v)) * x[u];
-          res.y[v] = acc;
-        },
-        eng.vertex_loop());
+    // Unified dense fold kernel (edge-balanced CSC pull); same
+    // in-neighbor accumulation order as the old hand loop, so y is
+    // bit-identical.
+    edge_fold<double>(
+        eng,
+        [&](VertexId u, VertexId v) { return edge_weight(u, v) * x[u]; },
+        [&](VertexId v, double a) { res.y[v] = a; });
   }
-  for (double v : res.y) res.checksum += v;
+  // Deterministic block fold — block_sum reproduces it from the payload.
+  res.checksum = deterministic_sum<double>(
+      0, n, [&](std::size_t v) { return res.y[v]; }, eng.vertex_loop());
   return res;
 }
 
@@ -61,7 +62,7 @@ AlgorithmSpec spmv_spec() {
     SpmvResult r = spmv(eng);
     return QueryPayload::vertex_doubles(std::move(r.y));
   };
-  s.checksum = serial_sum;  // == legacy SpmvResult::checksum
+  s.checksum = block_sum;  // == legacy SpmvResult::checksum (same fold)
   return s;
 }
 

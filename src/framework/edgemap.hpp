@@ -14,6 +14,30 @@
 // GraphGrind) run the pull phase partition-by-partition under static
 // scheduling — the configuration whose load balance VEBO fixes.
 //
+// The dense (pull) path is flag-driven (Ligra's edgeMap flags, adapted):
+//  * kNoOutput — the caller discards the result frontier, so no output
+//    bitset is allocated and no per-edge activation is recorded; the step
+//    costs exactly its edge traversal.
+//  * Complete-frontier specialization — when the input subset provably
+//    covers all n vertices (VertexSubset::is_complete()), the kernel is
+//    instantiated with CompleteProbe and the per-edge frontier.get(u)
+//    load disappears from the inner loop.
+//  * Edge-balanced dense scheduling — partitioned engines keep their
+//    VEBO/Algorithm-1 partition boundaries; the unpartitioned Ligra model
+//    splits the destination range into chunks of ~equal in-edges by
+//    binary search into the CSC offsets (Engine::dense_chunks()) instead
+//    of vertex chunking, which would reintroduce on the dense path the
+//    skew VEBO exists to fix.
+//  * Non-atomic output stripes — pull has a single writer per destination
+//    and tasks own disjoint destination ranges, so the output bitset is
+//    written with plain stores on words wholly inside a task's range and
+//    an atomic RMW only on the (at most two) boundary words shared with
+//    neighbouring tasks (StripeSink).
+// All four combine freely; edge_map_pull_range is the single dense kernel
+// every dense traversal in the repo instantiates — the flagged edge_map,
+// and via edge_apply the PageRank / PageRank-delta / SpMV / BP dense
+// iterations.
+//
 // Frontier materialization is fully parallel and output-sensitive
 // (pbbslib-style scan compaction):
 //  * Sparse push: an exclusive scan over frontier out-degrees assigns each
@@ -26,7 +50,7 @@
 //    is O(edges(frontier)) — never O(n) — with no serial pass.
 //    If the output count is past the density threshold the claim bitset
 //    itself becomes the (dense) result and the copy-out is skipped.
-//  * Dense pull: the atomic destination bitset is adopted by the result
+//  * Dense pull: the striped output bitset is adopted by the result
 //    subset word-for-word (no bit-at-a-time copy).
 // The offset scan doubles as the input frontier's out-degree sum, seeding
 // the cache VertexSubset::out_edges() keeps for the direction heuristic;
@@ -46,31 +70,143 @@ namespace vebo {
 
 enum class Direction { Auto, Push, Pull };
 
-struct EdgeMapOptions {
-  Direction direction = Direction::Auto;
+/// Behavior flags for edge_map (Ligra's edgeMap flag set, adapted).
+enum EdgeMapFlags : unsigned {
+  kNoFlags = 0,
   /// Pull loop breaks out of a destination's in-edge scan as soon as
   /// cond(v) turns false (Ligra's early exit, e.g. BFS parent setting).
-  bool pull_early_exit = true;
+  kPullEarlyExit = 1u << 0,
+  /// The caller discards the result frontier: skip output
+  /// materialization entirely — no bitset allocation, no per-edge
+  /// activation recording, no claim scratch — and return an empty
+  /// subset.
+  kNoOutput = 1u << 1,
 };
 
-/// Dense (pull) edgemap over destination range [lo, hi).
-template <typename F>
-void edge_map_pull_range(const Graph& g, const DynamicBitset& frontier,
-                         AtomicBitset& next, F& f, VertexId lo, VertexId hi,
+struct EdgeMapOptions {
+  Direction direction = Direction::Auto;
+  unsigned flags = kPullEarlyExit;
+
+  bool early_exit() const { return (flags & kPullEarlyExit) != 0; }
+  bool no_output() const { return (flags & kNoOutput) != 0; }
+};
+
+// ------------------------------------------------- dense kernel pieces
+
+/// Frontier membership probes for the pull kernel. CompleteProbe is the
+/// complete-frontier specialization: every source passes, with no memory
+/// access in the inner loop.
+struct CompleteProbe {
+  bool operator()(VertexId) const { return true; }
+};
+struct BitsetProbe {
+  const DynamicBitset& bits;
+  bool operator()(VertexId u) const { return bits.get(u); }
+};
+
+/// Output sinks for the pull kernel. NullSink is the kNoOutput path.
+struct NullSink {
+  void set(VertexId) {}
+};
+/// Records activations with plain (non-atomic) stores on every bitset
+/// word lying wholly inside the task's destination range [lo, hi); only
+/// the at-most-two boundary words shared with neighbouring tasks take an
+/// atomic RMW. Safe because pull has a single writer per destination and
+/// tasks own disjoint ranges: a word is either interior to exactly one
+/// task (only that task touches it, plainly) or a boundary word for all
+/// its writers (all touch it atomically).
+struct StripeSink {
+  DynamicBitset& bits;
+  std::size_t word_lo, word_hi;  ///< plain stores for words in [lo, hi)
+
+  StripeSink(DynamicBitset& b, VertexId lo, VertexId hi)
+      : bits(b),
+        word_lo((static_cast<std::size_t>(lo) + 63) / 64),
+        word_hi(static_cast<std::size_t>(hi) / 64) {}
+
+  void set(VertexId v) {
+    const std::size_t w = static_cast<std::size_t>(v) >> 6;
+    if (w >= word_lo && w < word_hi)
+      bits.set(v);
+    else
+      bits.set_atomic(v);
+  }
+};
+
+/// The one dense (pull) kernel: applies F over the in-edges of every
+/// destination in [lo, hi) whose source passes `probe`, reporting
+/// activations to `sink`. Every dense traversal in the repo instantiates
+/// this template — probe and sink are compile-time choices, so the
+/// complete-frontier and no-output variants pay nothing for the
+/// flexibility.
+template <typename F, typename Probe, typename Sink>
+void edge_map_pull_range(const Graph& g, F& f, const Probe& probe,
+                         Sink& sink, VertexId lo, VertexId hi,
                          bool early_exit) {
   for (VertexId v = lo; v < hi; ++v) {
     if (!f.cond(v)) continue;
     for (VertexId u : g.in_neighbors(v)) {
-      if (!frontier.get(u)) continue;
-      if (f.update(u, v)) next.set(v);
+      if (!probe(u)) continue;
+      if (f.update(u, v)) sink.set(v);
       if (early_exit && !f.cond(v)) break;
     }
   }
 }
 
+/// Runs body(lo, hi) over disjoint destination ranges covering [0, n):
+/// partition-per-task on partitioned engines (Polymer/GraphGrind keep
+/// their VEBO/Algorithm-1 boundaries), edge-balanced CSC chunks on the
+/// unpartitioned Ligra model (Engine::dense_chunks()).
+template <typename Body>
+void for_dense_ranges(const Engine& eng, Body&& body) {
+  if (eng.partitioned()) {
+    const auto& part = eng.partitioning();
+    parallel_for(
+        0, part.num_partitions(),
+        [&](std::size_t p) {
+          body(part.begin(static_cast<VertexId>(p)),
+               part.end(static_cast<VertexId>(p)));
+        },
+        eng.partition_loop());
+  } else {
+    const std::span<const VertexId> chunks = eng.dense_chunks();
+    parallel_for(
+        0, chunks.size() - 1,
+        [&](std::size_t t) { body(chunks[t], chunks[t + 1]); },
+        eng.dense_chunk_loop());
+  }
+}
+
+namespace detail {
+
+/// Dense driver shared by both probes: schedules the kernel over the
+/// engine's dense ranges with the sink the flags select.
+template <typename F, typename Probe>
+VertexSubset edge_map_pull(const Engine& eng, F& f, const Probe& probe,
+                           const EdgeMapOptions& opts) {
+  const Graph& g = eng.graph();
+  const VertexId n = g.num_vertices();
+  if (opts.no_output()) {
+    for_dense_ranges(eng, [&](VertexId lo, VertexId hi) {
+      NullSink sink;
+      edge_map_pull_range(g, f, probe, sink, lo, hi, opts.early_exit());
+    });
+    return VertexSubset::empty(n);
+  }
+  DynamicBitset next(n);
+  for_dense_ranges(eng, [&](VertexId lo, VertexId hi) {
+    StripeSink sink(next, lo, hi);
+    edge_map_pull_range(g, f, probe, sink, lo, hi, opts.early_exit());
+  });
+  // Adopt the striped words directly; the count is word-parallel.
+  return VertexSubset::from_bitset(std::move(next), eng.vertex_loop());
+}
+
+}  // namespace detail
+
 /// Applies F over all edges whose source is in `frontier`; returns the
-/// next frontier. The traversal direction follows the engine's density
-/// heuristic unless forced via `opts.direction`.
+/// next frontier (empty under kNoOutput). The traversal direction follows
+/// the engine's density heuristic unless forced via `opts.direction`.
 template <typename F>
 VertexSubset edge_map(const Engine& eng, VertexSubset& frontier, F f,
                       const EdgeMapOptions& opts = {}) {
@@ -102,6 +238,12 @@ VertexSubset edge_map(const Engine& eng, VertexSubset& frontier, F f,
     case Direction::Push: pull = false; break;
     case Direction::Pull: pull = true; break;
     case Direction::Auto:
+      // A complete frontier is always dense (n + m > m/20); skip the
+      // degree walk the heuristic would otherwise pay.
+      if (frontier.is_complete()) {
+        pull = true;
+        break;
+      }
       // |frontier| + |out-edges(frontier)| > m/20 -> dense.
       if (!frontier.is_dense()) compute_offsets();
       pull = frontier.size() + frontier.out_edges(g, vloop) >
@@ -111,33 +253,30 @@ VertexSubset edge_map(const Engine& eng, VertexSubset& frontier, F f,
   }
 
   if (pull) {
+    if (frontier.is_complete())
+      return detail::edge_map_pull(eng, f, CompleteProbe{}, opts);
     frontier.to_dense(vloop);
-    const DynamicBitset& fbits = frontier.bits();
-    AtomicBitset next(n);
-    if (eng.partitioned()) {
-      // Partition-per-task static scheduling (Polymer/GraphGrind).
-      const auto& part = eng.partitioning();
-      parallel_for(
-          0, part.num_partitions(),
-          [&](std::size_t p) {
-            edge_map_pull_range(g, fbits, next, f,
-                                part.begin(static_cast<VertexId>(p)),
-                                part.end(static_cast<VertexId>(p)),
-                                opts.pull_early_exit);
-          },
-          eng.partition_loop());
-    } else {
-      parallel_for_range(
-          0, n,
-          [&](std::size_t lo, std::size_t hi) {
-            edge_map_pull_range(g, fbits, next, f,
-                                static_cast<VertexId>(lo),
-                                static_cast<VertexId>(hi),
-                                opts.pull_early_exit);
-          },
-          vloop);
-    }
-    return VertexSubset::from_atomic(std::move(next), kInvalidVertex, vloop);
+    return detail::edge_map_pull(eng, f, BitsetProbe{frontier.bits()},
+                                 opts);
+  }
+
+  frontier.to_sparse(vloop);
+  auto ids = frontier.vertices();
+  const std::size_t fsz = ids.size();
+
+  if (opts.no_output()) {
+    // Push with the output discarded: deliver the edges, skip the claim
+    // bitset, slot buffer and both scans entirely. Touches no
+    // engine-owned scratch, so no lease either.
+    parallel_for(
+        0, fsz,
+        [&](std::size_t i) {
+          const VertexId u = ids[i];
+          for (const VertexId v : g.out_neighbors(u))
+            if (f.cond(v)) f.update_atomic(u, v);
+        },
+        vloop);
+    return VertexSubset::empty(n);
   }
 
   // Sparse push, scan-compacted: slot ranges from the offset scan, then
@@ -145,9 +284,6 @@ VertexSubset edge_map(const Engine& eng, VertexSubset& frontier, F f,
   // below runs over all n vertices and no pass is serial (the slot
   // buffer is deliberately left uninitialized; only written prefixes of
   // each range are read back).
-  frontier.to_sparse(vloop);
-  auto ids = frontier.vertices();
-  const std::size_t fsz = ids.size();
   if (!have_offsets) compute_offsets();
   std::vector<std::uint64_t> cnt(fsz);
 
@@ -201,6 +337,125 @@ VertexSubset edge_map(const Engine& eng, VertexSubset& frontier, F f,
   return VertexSubset::from_packed(n, std::move(out), /*sorted=*/false);
 }
 
+// ------------------------------------------------------------ edge_apply
+
+namespace detail {
+
+/// Adapts a plain per-edge functor to the pull kernel's Ligra interface:
+/// unconditional cond, activation-free update. The kernel inlines to the
+/// bare accumulation loop.
+template <typename EdgeFn>
+struct EdgeApplyFunctor {
+  EdgeFn& fn;
+  bool update(VertexId u, VertexId v) {
+    fn(u, v);
+    return false;
+  }
+  bool update_atomic(VertexId u, VertexId v) {
+    fn(u, v);
+    return false;
+  }
+  bool cond(VertexId) const { return true; }
+};
+
+}  // namespace detail
+
+/// Dense per-edge apply (pull direction): fn(u, v) for every in-edge
+/// (u, v) of every destination — no frontier probe, no activation
+/// tracking, no output frontier. This is the kernel PageRank/SpMV/BP-
+/// style dense iterations need. Tasks own disjoint destination ranges
+/// (one writer per destination), so fn may update per-destination state
+/// non-atomically; within one destination, sources arrive in ascending
+/// id order, so accumulation order — and therefore floating-point
+/// results — is independent of thread count, chunking and system model.
+template <typename EdgeFn>
+void edge_apply(const Engine& eng, EdgeFn&& fn) {
+  detail::EdgeApplyFunctor<EdgeFn> f{fn};
+  const Graph& g = eng.graph();
+  const CompleteProbe probe;
+  for_dense_ranges(eng, [&](VertexId lo, VertexId hi) {
+    NullSink sink;
+    edge_map_pull_range(g, f, probe, sink, lo, hi, /*early_exit=*/false);
+  });
+}
+
+/// Frontier-restricted overload: only edges whose source is in
+/// `frontier` are delivered. A complete frontier dispatches to the
+/// probe-free kernel above (PageRank-delta's early rounds).
+template <typename EdgeFn>
+void edge_apply(const Engine& eng, VertexSubset& frontier, EdgeFn&& fn) {
+  if (frontier.empty_set()) return;
+  if (frontier.is_complete()) {
+    edge_apply(eng, std::forward<EdgeFn>(fn));
+    return;
+  }
+  frontier.to_dense(eng.vertex_loop());
+  detail::EdgeApplyFunctor<EdgeFn> f{fn};
+  const Graph& g = eng.graph();
+  const BitsetProbe probe{frontier.bits()};
+  for_dense_ranges(eng, [&](VertexId lo, VertexId hi) {
+    NullSink sink;
+    edge_map_pull_range(g, f, probe, sink, lo, hi, /*early_exit=*/false);
+  });
+}
+
+// ------------------------------------------------------------- edge_fold
+
+namespace detail {
+
+/// Fold kernel shared by both edge_fold overloads: per destination, a
+/// register accumulator folded over the in-neighbors that pass `probe`,
+/// committed once. Same probe concept and dense scheduling as the
+/// update-style kernel.
+template <typename T, typename Probe, typename Value, typename Commit>
+void edge_fold_ranges(const Engine& eng, const Probe& probe, Value& value,
+                      Commit& commit) {
+  const Graph& g = eng.graph();
+  for_dense_ranges(eng, [&](VertexId lo, VertexId hi) {
+    for (VertexId v = lo; v < hi; ++v) {
+      T acc{};
+      for (VertexId u : g.in_neighbors(v))
+        if (probe(u)) acc += value(u, v);
+      commit(v, acc);
+    }
+  });
+}
+
+}  // namespace detail
+
+/// Register-accumulating per-destination gather (pull direction): for
+/// every destination v, folds value(u, v) over v's in-neighbors into a
+/// local accumulator and calls commit(v, acc) exactly once — including
+/// acc == T{} for in-degree-0 destinations, so no separate zero-fill
+/// pass is needed. This is the fold form of edge_apply: the accumulator
+/// provably lives in a register across a destination's whole in-edge
+/// scan, which the per-edge-functor form cannot promise (the destination
+/// array and the source array may alias, forcing a load + store per
+/// edge). PageRank / SpMV / BP-style dense iterations run on this form;
+/// accumulation order is the ascending in-neighbor order, independent of
+/// thread count, chunking and system model.
+template <typename T, typename Value, typename Commit>
+void edge_fold(const Engine& eng, Value&& value, Commit&& commit) {
+  detail::edge_fold_ranges<T>(eng, CompleteProbe{}, value, commit);
+}
+
+/// Frontier-restricted overload: only in-neighbors in `frontier`
+/// contribute; commit still runs for every destination. A complete
+/// frontier dispatches to the probe-free kernel.
+template <typename T, typename Value, typename Commit>
+void edge_fold(const Engine& eng, VertexSubset& frontier, Value&& value,
+               Commit&& commit) {
+  if (frontier.is_complete()) {
+    detail::edge_fold_ranges<T>(eng, CompleteProbe{}, value, commit);
+    return;
+  }
+  frontier.to_dense(eng.vertex_loop());
+  detail::edge_fold_ranges<T>(eng, BitsetProbe{frontier.bits()}, value,
+                              commit);
+}
+
+// ------------------------------------------------- vertex_map / filter
+
 /// Applies fn(v) to every member of the subset (parallel; fn must be safe
 /// to run concurrently on distinct vertices).
 template <typename Fn>
@@ -239,11 +494,13 @@ VertexSubset vertex_filter(const Engine& eng, const VertexSubset& subset,
     return VertexSubset::from_packed(n, std::move(out),
                                      subset.sparse_sorted());
   }
+  // Word-parallel dense filter (mirrors vertex_map's dense walk): the
+  // predicate runs only on set bits, and zero words cost one test
+  // instead of 64 membership probes.
   const DynamicBitset& bits = subset.bits();
-  auto out = pack_map<VertexId>(
-      n,
-      [&](std::size_t v) { return bits.get(v) && pred(static_cast<VertexId>(v)); },
-      [&](std::size_t v) { return static_cast<VertexId>(v); }, vloop);
+  auto out = detail::words_to_sparse_if<VertexId>(
+      bits.num_words(), [&](std::size_t w) { return bits.word(w); },
+      [&](std::size_t i) { return pred(static_cast<VertexId>(i)); }, vloop);
   return VertexSubset::from_packed(n, std::move(out), /*sorted=*/true);
 }
 

@@ -1,5 +1,7 @@
 #include "framework/engine.hpp"
 
+#include <algorithm>
+
 #include "support/error.hpp"
 
 namespace vebo {
@@ -36,9 +38,11 @@ void Engine::rebind(const Graph& g, const order::Partitioning* part) {
   graph_ = &g;
   // rebind requires quiescence (checked above for edge_map; concurrent
   // partitioned_coo is part of the same contract), so a plain store is
-  // enough to reset the lazy COO.
+  // enough to reset the lazy COO and dense chunk boundaries.
   coo_ = {};
   coo_built_.store(false, std::memory_order_release);
+  dense_chunks_ = {};
+  dense_chunks_built_.store(false, std::memory_order_release);
   // Keep options() consistent with the engine's actual partitioning:
   // after a rebind the stored pointer either names the partitioning in
   // use or is cleared.
@@ -90,6 +94,53 @@ ForOptions Engine::partition_loop() const {
   o.grain = 1;
   o.serial_cutoff = 1;
   return o;
+}
+
+ForOptions Engine::dense_chunk_loop() const {
+  ForOptions o;
+  o.pool = opts_.pool;
+  o.schedule = Schedule::Dynamic;
+  o.grain = 1;
+  o.serial_cutoff = 1;
+  return o;
+}
+
+std::span<const VertexId> Engine::dense_chunks() const {
+  if (!dense_chunks_built_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lk(dense_chunks_mutex_);
+    if (!dense_chunks_built_.load(std::memory_order_relaxed)) {
+      const VertexId n = graph_->num_vertices();
+      const std::span<const EdgeId> off = graph_->in_csr().offsets();
+      ThreadPool& pool = opts_.pool ? *opts_.pool : ThreadPool::global();
+      // Enough chunks for dynamic scheduling to absorb residual skew,
+      // few enough that per-chunk overhead stays negligible.
+      const VertexId T = static_cast<VertexId>(std::min<std::size_t>(
+          std::max<VertexId>(n, 1), pool.num_threads() * 8));
+      std::vector<VertexId> b(T + 1);
+      b[0] = 0;
+      b[T] = n;
+      // Work measure w(v) = in_off[v] + v is strictly increasing, so
+      // each boundary is a binary search for the first destination at or
+      // past an equal share of the total (in-edges + destinations).
+      const std::uint64_t total =
+          (off.empty() ? 0 : static_cast<std::uint64_t>(off[n])) + n;
+      for (VertexId t = 1; t < T; ++t) {
+        const std::uint64_t want = total * t / T;
+        VertexId lo = 0, hi = n;
+        while (lo < hi) {
+          const VertexId mid = lo + (hi - lo) / 2;
+          if (static_cast<std::uint64_t>(off[mid]) + mid < want)
+            lo = mid + 1;
+          else
+            hi = mid;
+        }
+        b[t] = lo;
+      }
+      dense_chunks_ = std::move(b);
+      dense_chunks_built_.store(true, std::memory_order_release);
+    }
+  }
+  return dense_chunks_;
 }
 
 Engine::ScratchLease::ScratchLease(const Engine& eng)

@@ -79,6 +79,16 @@ class Engine {
   /// Scheduling for loops over partitions (static in Polymer/GraphGrind).
   ForOptions partition_loop() const;
 
+  /// Destination-range boundaries for edge-balanced dense (pull)
+  /// scheduling on the unpartitioned Ligra model: chunk t owns
+  /// destinations [b[t], b[t+1]) carrying an approximately equal share of
+  /// in-edges (destination count included in the measure so edgeless id
+  /// stretches still split). Built lazily by binary search into the CSC
+  /// offset array; safe to call concurrently; reset by rebind().
+  std::span<const VertexId> dense_chunks() const;
+  /// Scheduling for loops over dense_chunks() (dynamic, chunk-per-task).
+  ForOptions dense_chunk_loop() const;
+
   /// Frontier size threshold above which edgemap switches to the dense
   /// (pull) traversal.
   EdgeId dense_threshold() const {
@@ -140,6 +150,11 @@ class Engine {
   /// coo_mutex_ serializes the one-time build (double-checked locking).
   mutable std::atomic<bool> coo_built_{false};
   mutable std::mutex coo_mutex_;
+  /// Lazy edge-balanced chunk boundaries (same publication discipline as
+  /// the COO: release-published, acquire-loaded, one-time build).
+  mutable std::vector<VertexId> dense_chunks_;
+  mutable std::atomic<bool> dense_chunks_built_{false};
+  mutable std::mutex dense_chunks_mutex_;
   mutable AtomicBitset claim_scratch_;  // lazy, see claim_scratch()
   mutable std::unique_ptr<VertexId[]> slot_scratch_;  // see slot_scratch()
   mutable std::size_t slot_capacity_ = 0;

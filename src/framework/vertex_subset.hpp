@@ -55,6 +55,11 @@ class VertexSubset {
   /// Number of vertices in the subset.
   VertexId size() const { return size_; }
   bool empty_set() const { return size_ == 0; }
+  /// True when the subset contains every vertex of its universe — the
+  /// complete-frontier case the dense kernels specialize on (no per-edge
+  /// membership probe). Derived from the exact member count, so it is
+  /// preserved across construction paths and conversions alike.
+  bool is_complete() const { return n_ > 0 && size_ == n_; }
 
   /// Primary representation (what edgemap would traverse).
   bool is_dense() const { return dense_; }

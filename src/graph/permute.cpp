@@ -16,6 +16,12 @@ bool is_permutation(std::span<const VertexId> perm) {
   return true;
 }
 
+bool is_identity(std::span<const VertexId> perm) {
+  for (std::size_t v = 0; v < perm.size(); ++v)
+    if (perm[v] != v) return false;
+  return true;
+}
+
 Permutation invert(std::span<const VertexId> perm) {
   Permutation inv(perm.size(), kInvalidVertex);
   for (std::size_t v = 0; v < perm.size(); ++v) {

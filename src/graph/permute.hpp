@@ -18,6 +18,9 @@ using Permutation = std::vector<VertexId>;
 /// True iff `perm` is a bijection on 0..n-1.
 bool is_permutation(std::span<const VertexId> perm);
 
+/// True iff perm[v] == v for all v (no-op reordering).
+bool is_identity(std::span<const VertexId> perm);
+
 /// Inverse permutation: inv[perm[v]] = v.
 Permutation invert(std::span<const VertexId> perm);
 

@@ -90,6 +90,48 @@ T parallel_reduce(std::size_t begin, std::size_t end, T init, Fn&& fn,
   return total;
 }
 
+/// Deterministic parallel sum of fn(i) over [begin, end): fixed 4096-
+/// element blocks are summed serially (in parallel across blocks), then
+/// the block partials are folded serially in block order. Unlike
+/// parallel_reduce, whose combine order follows worker assignment, the
+/// result is a pure function of the inputs — independent of thread count
+/// and schedule — which is what checksum and diagnostic folds need.
+/// `fn` is invoked exactly once per index, so it may carry side effects
+/// that are safe on distinct indices (fused copy + fold tails).
+template <typename T, typename Fn>
+T deterministic_sum(std::size_t begin, std::size_t end, Fn&& fn,
+                    const ForOptions& opts = {}) {
+  constexpr std::size_t kBlock = 4096;
+  const std::size_t n = end > begin ? end - begin : 0;
+  if (n <= kBlock) {
+    T acc{};
+    for (std::size_t i = begin; i < end; ++i) acc += fn(i);
+    return acc;
+  }
+  const std::size_t nblocks = (n + kBlock - 1) / kBlock;
+  std::vector<T> partial(nblocks);
+  // The loop below counts blocks, not elements: the caller's grain and
+  // serial_cutoff are calibrated for element loops and would keep the
+  // whole fold serial up to ~kBlock * serial_cutoff elements.
+  ForOptions block_opts = opts;
+  block_opts.schedule = Schedule::Dynamic;
+  block_opts.grain = 1;
+  block_opts.serial_cutoff = 1;
+  parallel_for(
+      0, nblocks,
+      [&](std::size_t b) {
+        const std::size_t lo = begin + b * kBlock;
+        const std::size_t hi = lo + kBlock < end ? lo + kBlock : end;
+        T acc{};
+        for (std::size_t i = lo; i < hi; ++i) acc += fn(i);
+        partial[b] = acc;
+      },
+      block_opts);
+  T total{};
+  for (const T& p : partial) total += p;
+  return total;
+}
+
 /// Exclusive prefix sum of `in` into `out` (sizes equal); returns total.
 std::uint64_t exclusive_scan(const std::uint64_t* in, std::uint64_t* out,
                              std::size_t n, const ForOptions& opts = {});

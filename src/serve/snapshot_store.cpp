@@ -15,6 +15,11 @@ std::uint64_t SnapshotStore::publish(std::shared_ptr<const Graph> graph,
                  perm->size() == static_cast<std::size_t>(
                                      graph->num_vertices()),
              "publish: permutation size does not match the vertex set");
+  // An identity permutation means snapshot ids already are original ids:
+  // drop it so every downstream translation (source mapping, per-query
+  // translate_to_original_ids on the serving cold path) becomes the
+  // no-op nullptr hand-off instead of a full per-vertex copy.
+  if (perm != nullptr && is_identity(*perm)) perm = nullptr;
 
   // All allocation and snapshot assembly happens before the lock; the
   // critical section is a pointer swap. Versions are drawn from their own

@@ -350,7 +350,7 @@ TEST(EdgeMap, PullEarlyExitDeliversAtMostOneEdgePerDestination) {
   for (auto& h : hits) h.store(0);
   FirstOnlyFunctor f{&hits};
   edge_map(eng, frontier, f,
-           {.direction = Direction::Pull, .pull_early_exit = true});
+           {.direction = Direction::Pull, .flags = kPullEarlyExit});
   for (VertexId v = 0; v < n; ++v) ASSERT_LE(hits[v].load(), 1u) << v;
   // Every destination with at least one in-edge got exactly one.
   for (VertexId v = 0; v < n; ++v)

@@ -211,6 +211,44 @@ TEST(VertexFilter, PreservesUnsortedPackedInput) {
   EXPECT_EQ(sorted_ids(out), (std::vector<VertexId>{42, 99}));
 }
 
+// --------------------------------------------- is_complete tracking
+
+TEST(IsComplete, TrackedAcrossConstructionAndConversions) {
+  const VertexId n = 130;  // not a multiple of 64
+  // all() is complete and stays complete through conversions.
+  VertexSubset s = VertexSubset::all(n);
+  EXPECT_TRUE(s.is_complete());
+  s.to_sparse();
+  EXPECT_TRUE(s.is_complete());
+  s.to_dense();
+  EXPECT_TRUE(s.is_complete());
+
+  // A sparse list that happens to cover the universe is complete too.
+  std::vector<VertexId> ids(n);
+  for (VertexId v = 0; v < n; ++v) ids[v] = v;
+  VertexSubset full = VertexSubset::from_sparse(n, ids);
+  EXPECT_TRUE(full.is_complete());
+  full.to_dense();
+  EXPECT_TRUE(full.is_complete());
+
+  // from_packed and from_atomic variants.
+  EXPECT_TRUE(VertexSubset::from_packed(n, std::move(ids), true)
+                  .is_complete());
+  AtomicBitset a(n);
+  for (VertexId v = 0; v < n; ++v) a.set(v);
+  EXPECT_TRUE(VertexSubset::from_atomic(std::move(a)).is_complete());
+
+  // Not complete: missing one vertex, empty, single.
+  std::vector<VertexId> most;
+  for (VertexId v = 0; v + 1 < n; ++v) most.push_back(v);
+  VertexSubset partial = VertexSubset::from_sparse(n, std::move(most));
+  EXPECT_FALSE(partial.is_complete());
+  partial.to_dense();
+  EXPECT_FALSE(partial.is_complete());
+  EXPECT_FALSE(VertexSubset::empty(n).is_complete());
+  EXPECT_FALSE(VertexSubset::single(n, 0).is_complete());
+}
+
 // ------------------------------------- push/pull/auto equivalence
 
 // BFS-style: claim unvisited destinations (CAS parent).
@@ -285,7 +323,10 @@ Graph make_generator_graph(const std::string& which) {
 
 // Steps the same functor under forced Push, forced Pull and Auto from the
 // same start frontier, with independent state per direction; the produced
-// frontier must be the same vertex set every round.
+// frontier must be the same vertex set every round. Every (direction,
+// round) step is additionally replayed from the same pre-state with
+// kNoOutput: the returned subset must be empty and the observable state
+// identical — the full flags x direction x system-model matrix.
 void check_direction_equivalence(const Graph& g, SystemModel model,
                                  FunctorKind::Kind kind) {
   const VertexId n = g.num_vertices();
@@ -323,6 +364,27 @@ void check_direction_equivalence(const Graph& g, SystemModel model,
     }
   }
 
+  // One edge_map step of `kind` against explicit state arrays.
+  auto step = [&](VertexSubset& f_in, std::atomic<VertexId>* vs,
+                  const VertexId* prev_labels, std::atomic<double>* acc,
+                  std::atomic<std::uint32_t>* hit,
+                  const EdgeMapOptions& opts) {
+    switch (kind) {
+      case FunctorKind::Bfs: {
+        BfsLike f{vs};
+        return edge_map(eng, f_in, f, opts);
+      }
+      case FunctorKind::Cc: {
+        CcLike f{prev_labels, vs};
+        return edge_map(eng, f_in, f, opts);
+      }
+      default: {
+        PrDeltaLike f{contrib.data(), acc, hit};
+        return edge_map(eng, f_in, f, opts);
+      }
+    }
+  };
+
   for (int round = 0; round < 8; ++round) {
     if (kind == FunctorKind::PrDelta) {
       for (int d = 0; d < 3; ++d) {
@@ -336,26 +398,73 @@ void check_direction_equivalence(const Graph& g, SystemModel model,
     }
     std::vector<std::vector<VertexId>> outs;
     for (int d = 0; d < 3; ++d) {
-      EdgeMapOptions opts{.direction = dirs[d], .pull_early_exit = false};
-      VertexSubset out = [&] {
-        switch (kind) {
-          case FunctorKind::Bfs: {
-            BfsLike f{vstate[d].data()};
-            return edge_map(eng, frontier[d], f, opts);
-          }
-          case FunctorKind::Cc: {
-            prev[d].resize(n);
-            for (VertexId v = 0; v < n; ++v)
-              prev[d][v] = vstate[d][v].load(std::memory_order_relaxed);
-            CcLike f{prev[d].data(), vstate[d].data()};
-            return edge_map(eng, frontier[d], f, opts);
-          }
-          default: {
-            PrDeltaLike f{contrib.data(), accs[d].data(), hits[d].data()};
-            return edge_map(eng, frontier[d], f, opts);
+      EdgeMapOptions opts{.direction = dirs[d], .flags = kNoFlags};
+      if (kind == FunctorKind::Cc) {
+        prev[d].resize(n);
+        for (VertexId v = 0; v < n; ++v)
+          prev[d][v] = vstate[d][v].load(std::memory_order_relaxed);
+      }
+
+      // Snapshot the pre-step state and frontier for the kNoOutput
+      // shadow replay.
+      VertexSubset pre_frontier = frontier[d];
+      std::vector<VertexId> pre_v(n);
+      std::vector<double> pre_acc(kind == FunctorKind::PrDelta ? n : 0);
+      std::vector<std::uint32_t> pre_hits(pre_acc.size());
+      for (VertexId v = 0; v < n; ++v) {
+        pre_v[v] = vstate[d][v].load(std::memory_order_relaxed);
+        if (kind == FunctorKind::PrDelta) {
+          pre_acc[v] = accs[d][v].load(std::memory_order_relaxed);
+          pre_hits[v] = hits[d][v].load(std::memory_order_relaxed);
+        }
+      }
+
+      VertexSubset out =
+          step(frontier[d], vstate[d].data(),
+               kind == FunctorKind::Cc ? prev[d].data() : nullptr,
+               accs[d].data(), hits[d].data(), opts);
+
+      // kNoOutput shadow: same step, same pre-state, discarded output.
+      {
+        std::vector<std::atomic<VertexId>> sh_v(n);
+        std::vector<std::atomic<double>> sh_acc(pre_acc.size());
+        std::vector<std::atomic<std::uint32_t>> sh_hits(pre_acc.size());
+        for (VertexId v = 0; v < n; ++v) {
+          sh_v[v].store(pre_v[v], std::memory_order_relaxed);
+          if (kind == FunctorKind::PrDelta) {
+            sh_acc[v].store(pre_acc[v], std::memory_order_relaxed);
+            sh_hits[v].store(pre_hits[v], std::memory_order_relaxed);
           }
         }
-      }();
+        EdgeMapOptions noout{.direction = dirs[d], .flags = kNoOutput};
+        VertexSubset sh_out =
+            step(pre_frontier, sh_v.data(),
+                 kind == FunctorKind::Cc ? prev[d].data() : nullptr,
+                 sh_acc.data(), sh_hits.data(), noout);
+        ASSERT_TRUE(sh_out.empty_set())
+            << "kNoOutput returned a non-empty subset at round " << round;
+        for (VertexId v = 0; v < n; ++v) {
+          switch (kind) {
+            case FunctorKind::Bfs:
+              // Parent identities may differ (claim races), but the set
+              // of claimed vertices must not.
+              ASSERT_EQ(vstate[d][v].load() == kInvalidVertex,
+                        sh_v[v].load() == kInvalidVertex)
+                  << "v=" << v;
+              break;
+            case FunctorKind::Cc:
+              ASSERT_EQ(vstate[d][v].load(), sh_v[v].load()) << "v=" << v;
+              break;
+            default: {
+              const double a = accs[d][v].load(), b = sh_acc[v].load();
+              ASSERT_NEAR(a, b, 1e-9 * std::max(1.0, std::abs(a)))
+                  << "v=" << v;
+              ASSERT_EQ(hits[d][v].load(), sh_hits[v].load()) << "v=" << v;
+            }
+          }
+        }
+      }
+
       outs.push_back(sorted_ids(out));
       frontier[d] = std::move(out);
     }
@@ -401,6 +510,13 @@ TEST_P(DirectionEquivalence, HoldsUnderPartitionedPull) {
                               static_cast<FunctorKind::Kind>(kind));
 }
 
+TEST_P(DirectionEquivalence, HoldsUnderGraphGrindModel) {
+  const auto& [generator, kind] = GetParam();
+  const Graph g = make_generator_graph(generator);
+  check_direction_equivalence(g, SystemModel::GraphGrind,
+                              static_cast<FunctorKind::Kind>(kind));
+}
+
 std::string equivalence_case_name(
     const ::testing::TestParamInfo<std::tuple<std::string, int>>& info) {
   static const char* kinds[] = {"bfs", "cc", "pagerank_delta"};
@@ -412,6 +528,170 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values("rmat", "powerlaw", "road"),
                        ::testing::Values(0, 1, 2)),
     equivalence_case_name);
+
+// ------------------------------------------- dense kernel specializations
+
+// A complete frontier dispatches to the probe-free kernel; it must
+// produce exactly what the probing kernel produces on an all-set bitset.
+TEST(DensePath, CompleteFrontierMatchesProbingKernel) {
+  const Graph g = gen::rmat(11, 6, 4);
+  const VertexId n = g.num_vertices();
+  Engine eng(g, SystemModel::Ligra);
+
+  // Non-monotone labels so min-propagation does real work.
+  std::vector<VertexId> prev(n);
+  std::vector<std::atomic<VertexId>> label_c(n), label_p(n);
+  for (VertexId v = 0; v < n; ++v) {
+    prev[v] = (v * 7919 + 13) % n;
+    label_c[v].store(prev[v], std::memory_order_relaxed);
+    label_p[v].store(prev[v], std::memory_order_relaxed);
+  }
+
+  // Complete path through the public dispatch.
+  VertexSubset all = VertexSubset::all(n);
+  ASSERT_TRUE(all.is_complete());
+  CcLike f_c{prev.data(), label_c.data()};
+  VertexSubset out_c = edge_map(
+      eng, all, f_c, {.direction = Direction::Pull, .flags = kNoFlags});
+
+  // Probing kernel instantiated directly on an all-set bitset.
+  DynamicBitset fullbits(n, true);
+  DynamicBitset next(n);
+  CcLike f_p{prev.data(), label_p.data()};
+  const BitsetProbe probe{fullbits};
+  for_dense_ranges(eng, [&](VertexId lo, VertexId hi) {
+    StripeSink sink(next, lo, hi);
+    edge_map_pull_range(g, f_p, probe, sink, lo, hi, /*early_exit=*/false);
+  });
+  VertexSubset out_p = VertexSubset::from_bitset(std::move(next));
+
+  EXPECT_EQ(sorted_ids(out_c), sorted_ids(out_p));
+  for (VertexId v = 0; v < n; ++v)
+    ASSERT_EQ(label_c[v].load(), label_p[v].load()) << "v=" << v;
+}
+
+// The edge-balanced dense schedule (with striped non-atomic output) must
+// produce results identical to the pre-PR vertex-chunked probing pull
+// with an atomic output bitset.
+TEST(DensePath, EdgeBalancedMatchesVertexChunkedReference) {
+  const Graph g = gen::rmat(11, 6, 3);
+  const VertexId n = g.num_vertices();
+  Engine eng(g, SystemModel::Ligra);
+  std::vector<VertexId> ids;
+  for (VertexId v = 0; v < n; v += 3) ids.push_back(v);
+  VertexSubset frontier = VertexSubset::from_sparse(n, ids);
+  frontier.to_dense();
+
+  std::vector<VertexId> prev(n);
+  std::vector<std::atomic<VertexId>> label_new(n), label_ref(n);
+  for (VertexId v = 0; v < n; ++v) {
+    prev[v] = (v * 131 + 7) % n;
+    label_new[v].store(prev[v], std::memory_order_relaxed);
+    label_ref[v].store(prev[v], std::memory_order_relaxed);
+  }
+
+  CcLike f_new{prev.data(), label_new.data()};
+  VertexSubset fcopy = frontier;
+  VertexSubset out_new = edge_map(
+      eng, fcopy, f_new, {.direction = Direction::Pull, .flags = kNoFlags});
+
+  AtomicBitset next(n);
+  const DynamicBitset& fbits = frontier.bits();
+  CcLike f_ref{prev.data(), label_ref.data()};
+  parallel_for_range(
+      0, n,
+      [&](std::size_t lo, std::size_t hi) {
+        for (VertexId v = static_cast<VertexId>(lo);
+             v < static_cast<VertexId>(hi); ++v)
+          for (VertexId u : g.in_neighbors(v)) {
+            if (!fbits.get(u)) continue;
+            if (f_ref.update(u, v)) next.set(v);
+          }
+      },
+      eng.vertex_loop());
+  VertexSubset out_ref = VertexSubset::from_atomic(std::move(next));
+
+  EXPECT_EQ(sorted_ids(out_new), sorted_ids(out_ref));
+  for (VertexId v = 0; v < n; ++v)
+    ASSERT_EQ(label_new[v].load(), label_ref[v].load()) << "v=" << v;
+}
+
+// edge_fold must equal a serial per-destination gather bit-for-bit (the
+// accumulation order is the ascending in-neighbor order in both), for
+// complete and partial frontiers, across all three system models.
+TEST(DensePath, EdgeFoldMatchesSerialGatherAcrossModels) {
+  const Graph g = gen::rmat(11, 6, 5);
+  const VertexId n = g.num_vertices();
+  std::vector<double> val(n);
+  for (VertexId v = 0; v < n; ++v) val[v] = 1.0 + (v % 13) * 0.5;
+
+  for (SystemModel model : {SystemModel::Ligra, SystemModel::Polymer,
+                            SystemModel::GraphGrind}) {
+    Engine eng(g, model, model == SystemModel::Ligra
+                             ? EngineOptions{}
+                             : EngineOptions{.partitions = 8});
+    std::vector<double> got(n, -1.0);
+    edge_fold<double>(
+        eng, [&](VertexId u, VertexId) { return val[u]; },
+        [&](VertexId v, double a) { got[v] = a; });
+    for (VertexId v = 0; v < n; ++v) {
+      double want = 0;
+      for (VertexId u : g.in_neighbors(v)) want += val[u];
+      ASSERT_EQ(got[v], want) << "model=" << to_string(model) << " v=" << v;
+    }
+
+    std::vector<VertexId> ids;
+    for (VertexId v = 0; v < n; v += 4) ids.push_back(v);
+    VertexSubset frontier = VertexSubset::from_sparse(n, ids);
+    std::vector<double> got2(n, -1.0);
+    edge_fold<double>(
+        eng, frontier, [&](VertexId u, VertexId) { return val[u]; },
+        [&](VertexId v, double a) { got2[v] = a; });
+    for (VertexId v = 0; v < n; ++v) {
+      double want = 0;
+      for (VertexId u : g.in_neighbors(v))
+        if (u % 4 == 0) want += val[u];
+      ASSERT_EQ(got2[v], want) << "model=" << to_string(model) << " v=" << v;
+    }
+  }
+}
+
+// edge_apply delivers every in-edge exactly once with a single writer
+// per destination (plain counters must end up exact).
+TEST(DensePath, EdgeApplyDeliversEveryInEdgeOnce) {
+  const Graph g = gen::rmat(10, 5, 6);
+  const VertexId n = g.num_vertices();
+  Engine eng(g, SystemModel::Ligra);
+  std::vector<std::uint32_t> cnt(n, 0);
+  edge_apply(eng, [&](VertexId, VertexId v) { cnt[v] += 1; });
+  for (VertexId v = 0; v < n; ++v)
+    ASSERT_EQ(cnt[v], g.in_degree(v)) << "v=" << v;
+}
+
+// Engine::dense_chunks invariants: boundaries cover [0, n], are
+// monotone, and every chunk's in-edge + destination load is within a
+// factor of the ideal share (up to one max-degree row).
+TEST(DensePath, DenseChunksCoverAndBalance) {
+  const Graph g = gen::rmat(12, 8, 7);
+  const VertexId n = g.num_vertices();
+  Engine eng(g, SystemModel::Ligra);
+  const auto chunks = eng.dense_chunks();
+  ASSERT_GE(chunks.size(), 2u);
+  EXPECT_EQ(chunks.front(), 0u);
+  EXPECT_EQ(chunks.back(), n);
+  const std::uint64_t total = g.num_edges() + n;
+  const std::uint64_t share = total / (chunks.size() - 1);
+  for (std::size_t t = 0; t + 1 < chunks.size(); ++t) {
+    ASSERT_LE(chunks[t], chunks[t + 1]);
+    std::uint64_t load = chunks[t + 1] - chunks[t];
+    for (VertexId v = chunks[t]; v < chunks[t + 1]; ++v)
+      load += g.in_degree(v);
+    // A chunk can overshoot the share by at most one row (the boundary
+    // vertex's whole in-list belongs to it).
+    EXPECT_LE(load, share + g.max_in_degree() + 1)
+        << "chunk " << t << " overloaded";
+  }
+}
 
 }  // namespace
 }  // namespace vebo

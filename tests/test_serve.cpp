@@ -106,6 +106,27 @@ TEST(SnapshotStore, PublishRejectsMismatchedParts) {
   EXPECT_THROW(store.publish(g, part_of(*g), perm), Error);
 }
 
+// An identity permutation carries no information (snapshot ids already
+// are original ids): publish detects it and drops it, so readers take
+// the nullptr no-translation path instead of copying every payload
+// through a no-op mapping. A non-identity perm is kept verbatim.
+TEST(SnapshotStore, IdentityPermIsDroppedAtPublish) {
+  SnapshotStore store;
+  auto g = make_graph(7, 4, 3);
+  store.publish(g, part_of(*g),
+                std::make_shared<const Permutation>(
+                    identity_permutation(g->num_vertices())));
+  EXPECT_EQ(store.acquire().perm(), nullptr);
+
+  Permutation swapped = identity_permutation(g->num_vertices());
+  std::swap(swapped[0], swapped[1]);
+  auto reordered = std::make_shared<const Graph>(permute(*g, swapped));
+  store.publish(reordered, part_of(*reordered),
+                std::make_shared<const Permutation>(swapped));
+  ASSERT_NE(store.acquire().perm(), nullptr);
+  EXPECT_EQ((*store.acquire().perm())[0], 1u);
+}
+
 // The ISSUE's snapshot-lifetime criterion: a reader holding a ref across
 // >= 2 publishes still sees a valid, version-consistent graph, and every
 // superseded snapshot is reclaimed once its last reference drops (ASan
