@@ -79,6 +79,10 @@ BcResult betweenness(const Engine& eng, VertexId source) {
   // per-level loop is race-free.
   std::vector<double> delta(n, 0.0);
   for (std::size_t d = levels.size(); d-- > 1;) {
+    // Superstep boundary: the backward sweep runs one hand-rolled
+    // parallel pass per BFS level, so poll here (the forward phase is
+    // covered by edge_map's own poll).
+    eng.poll_cancellation();
     const auto& members = levels[d - 1];
     parallel_for(
         0, members.size(),
@@ -119,7 +123,7 @@ AlgorithmSpec bc_spec() {
       {"source", ParamType::Int, std::int64_t{0}, "start vertex id"},
       {"top_k", ParamType::Int, std::int64_t{0},
        "0 = full dependency vector, k > 0 = k most central vertices"}};
-  s.run = [](const Engine& eng, const QueryParams& p) {
+  s.run = [](const Engine& eng, const QueryParams& p, const QueryContext&) {
     const std::int64_t k = p.get_int("top_k");
     VEBO_CHECK(k >= 0, "BC: top_k must be >= 0");
     BcResult r = betweenness(eng, p.get_vertex("source"));

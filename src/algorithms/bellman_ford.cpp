@@ -74,7 +74,7 @@ AlgorithmSpec bellman_ford_spec() {
   s.dense_frontier = false;
   s.params = ParamSchema{
       {"source", ParamType::Int, std::int64_t{0}, "start vertex id"}};
-  s.run = [](const Engine& eng, const QueryParams& p) {
+  s.run = [](const Engine& eng, const QueryParams& p, const QueryContext&) {
     BellmanFordResult r = bellman_ford(eng, p.get_vertex("source"));
     QueryPayload out = QueryPayload::vertex_doubles(std::move(r.distance));
     out.aux = r.rounds;

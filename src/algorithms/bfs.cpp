@@ -84,7 +84,7 @@ AlgorithmSpec bfs_spec() {
   s.dense_frontier = false;
   s.params = ParamSchema{
       {"source", ParamType::Int, std::int64_t{0}, "start vertex id"}};
-  s.run = [](const Engine& eng, const QueryParams& p) {
+  s.run = [](const Engine& eng, const QueryParams& p, const QueryContext&) {
     BfsResult r = bfs(eng, p.get_vertex("source"));
     QueryPayload out = QueryPayload::vertex_ids(std::move(r.level));
     out.aux = r.rounds;

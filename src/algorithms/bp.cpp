@@ -24,6 +24,9 @@ BpResult belief_propagation(const Engine& eng, const BpOptions& opts) {
 
   BpResult res;
   for (int it = 0; it < opts.iterations; ++it) {
+    // Superstep boundary (covers the COO path, which bypasses the
+    // framework's polled entry points).
+    eng.poll_cancellation();
     // Message from u is a saturating function of u's current belief.
     parallel_for(
         0, n,
@@ -82,7 +85,7 @@ AlgorithmSpec bp_spec() {
       {"iterations", ParamType::Int, std::int64_t{10}, "sync iterations"},
       {"coupling", ParamType::Float, 0.5,
        "edge potential strength in log-odds space"}};
-  s.run = [](const Engine& eng, const QueryParams& p) {
+  s.run = [](const Engine& eng, const QueryParams& p, const QueryContext&) {
     BpOptions opts;
     opts.iterations = static_cast<int>(p.get_int("iterations"));
     opts.coupling = p.get_float("coupling");

@@ -33,6 +33,8 @@ CcResult connected_components(const Engine& eng) {
   VertexSubset frontier = VertexSubset::all(n);
   int rounds = 0;
   while (!frontier.empty_set()) {
+    // Superstep boundary: CC's rounds bypass edge_map, so poll here.
+    eng.poll_cancellation();
     AtomicBitset changed(n);
     // Density heuristic mirrors edgemap: sparse push vs dense pull. CC
     // propagates over both directions, so both cached degree sums count.
@@ -122,7 +124,7 @@ AlgorithmSpec cc_spec() {
   s.edge_oriented = true;
   s.dense_frontier = true;
   s.params = ParamSchema{};
-  s.run = [](const Engine& eng, const QueryParams&) {
+  s.run = [](const Engine& eng, const QueryParams&, const QueryContext&) {
     CcResult r = connected_components(eng);
     QueryPayload out = QueryPayload::vertex_ids(
         std::move(r.label), /*values_are_vertex_ids=*/true);

@@ -18,6 +18,9 @@ PageRankResult pagerank(const Engine& eng, const PageRankOptions& opts) {
   std::vector<double> rank(n, init), next(n, 0.0), contrib(n, 0.0);
 
   for (int it = 0; it < opts.iterations; ++it) {
+    // Superstep boundary (covers the COO path, which bypasses the
+    // framework's polled entry points).
+    eng.poll_cancellation();
     // contrib[u] = rank[u] / outdeg[u]; dangling vertices contribute 0
     // (Ligra's convention).
     parallel_for(
@@ -80,7 +83,7 @@ AlgorithmSpec pagerank_spec() {
       {"damping", ParamType::Float, 0.85, "damping factor"},
       {"top_k", ParamType::Int, std::int64_t{0},
        "0 = full rank vector, k > 0 = k highest-ranked vertices"}};
-  s.run = [](const Engine& eng, const QueryParams& p) {
+  s.run = [](const Engine& eng, const QueryParams& p, const QueryContext&) {
     PageRankOptions opts;
     opts.iterations = static_cast<int>(p.get_int("iterations"));
     opts.damping = p.get_float("damping");

@@ -93,7 +93,7 @@ AlgorithmSpec pagerank_delta_spec() {
        "active while |delta| > epsilon * rank"},
       {"top_k", ParamType::Int, std::int64_t{0},
        "0 = full rank vector, k > 0 = k highest-ranked vertices"}};
-  s.run = [](const Engine& eng, const QueryParams& p) {
+  s.run = [](const Engine& eng, const QueryParams& p, const QueryContext&) {
     PageRankDeltaOptions opts;
     opts.max_iterations = static_cast<int>(p.get_int("max_iters"));
     opts.damping = p.get_float("damping");

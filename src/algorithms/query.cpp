@@ -3,10 +3,22 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "framework/engine.hpp"
 #include "parallel/parallel_for.hpp"
 #include "support/error.hpp"
 
 namespace vebo::algo {
+
+// ----------------------------------------------------------- AlgorithmSpec
+
+QueryPayload AlgorithmSpec::invoke(const Engine& eng, const QueryParams& raw,
+                                   const QueryContext& ctx) const {
+  // Bind the context so the framework superstep poll points see it; the
+  // RAII binding unbinds on every exit path (including a cancellation
+  // throw from inside the run).
+  Engine::ContextBinding bind(eng, ctx);
+  return run(eng, params.validate(raw), ctx);
+}
 
 namespace {
 

@@ -31,6 +31,7 @@
 #include <variant>
 #include <vector>
 
+#include "framework/cancel.hpp"
 #include "graph/types.hpp"
 
 namespace vebo {
@@ -200,16 +201,25 @@ struct AlgorithmSpec {
   /// Runs on *validated* params (every schema key present and typed);
   /// callers go through invoke() or validate explicitly. "source" params
   /// are in the engine graph's id space — serving layers translate
-  /// original ids before calling.
-  std::function<QueryPayload(const Engine&, const QueryParams&)> run;
+  /// original ids before calling. The QueryContext carries the query's
+  /// deadline / cancellation state; algorithms poll it between edge_map
+  /// supersteps (the framework entry points poll the engine-bound context
+  /// automatically; hand-rolled iteration loops call
+  /// eng.poll_cancellation() once per iteration). Callers with nothing to
+  /// enforce pass QueryContext::none().
+  std::function<QueryPayload(const Engine&, const QueryParams&,
+                             const QueryContext&)>
+      run;
   /// Deterministic fold of run()'s payload reproducing the pre-protocol
   /// checksum exactly (serial in-payload-order sums, reached counts...).
   std::function<double(const QueryPayload&)> checksum;
 
   /// Validate + run in one step (the non-serving convenience path).
-  QueryPayload invoke(const Engine& eng, const QueryParams& raw = {}) const {
-    return run(eng, params.validate(raw));
-  }
+  /// Binds `ctx` to the engine for the duration of the run so the
+  /// framework poll points see it (defined in query.cpp — needs the full
+  /// Engine type for the RAII binding).
+  QueryPayload invoke(const Engine& eng, const QueryParams& raw = {},
+                      const QueryContext& ctx = QueryContext::none()) const;
 };
 
 /// Shared helper for ranked payloads: the k highest-scoring vertices,

@@ -51,7 +51,9 @@ const std::vector<AlgorithmInfo>& algorithms() {
                      QueryParams p;
                      if (sp->params.find("source") != nullptr)
                        p.set("source", source);
-                     return sp->checksum(sp->run(eng, sp->params.validate(p)));
+                     // invoke() binds the (unbounded) context so the
+                     // framework poll points stay a no-op pointer test.
+                     return sp->checksum(sp->invoke(eng, p));
                    }});
     }
     return v;

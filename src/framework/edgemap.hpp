@@ -210,6 +210,10 @@ VertexSubset edge_map_pull(const Engine& eng, F& f, const Probe& probe,
 template <typename F>
 VertexSubset edge_map(const Engine& eng, VertexSubset& frontier, F f,
                       const EdgeMapOptions& opts = {}) {
+  // Superstep boundary: the cooperative-cancellation poll point (one
+  // pointer test when no context is bound; never polled inside the
+  // dense kernels below).
+  eng.poll_cancellation();
   const Graph& g = eng.graph();
   const VertexId n = g.num_vertices();
   const ForOptions vloop = eng.vertex_loop();
@@ -370,6 +374,7 @@ struct EdgeApplyFunctor {
 /// results — is independent of thread count, chunking and system model.
 template <typename EdgeFn>
 void edge_apply(const Engine& eng, EdgeFn&& fn) {
+  eng.poll_cancellation();  // superstep boundary (see edge_map)
   detail::EdgeApplyFunctor<EdgeFn> f{fn};
   const Graph& g = eng.graph();
   const CompleteProbe probe;
@@ -384,6 +389,7 @@ void edge_apply(const Engine& eng, EdgeFn&& fn) {
 /// probe-free kernel above (PageRank-delta's early rounds).
 template <typename EdgeFn>
 void edge_apply(const Engine& eng, VertexSubset& frontier, EdgeFn&& fn) {
+  eng.poll_cancellation();  // superstep boundary (see edge_map)
   if (frontier.empty_set()) return;
   if (frontier.is_complete()) {
     edge_apply(eng, std::forward<EdgeFn>(fn));
@@ -436,6 +442,7 @@ void edge_fold_ranges(const Engine& eng, const Probe& probe, Value& value,
 /// thread count, chunking and system model.
 template <typename T, typename Value, typename Commit>
 void edge_fold(const Engine& eng, Value&& value, Commit&& commit) {
+  eng.poll_cancellation();  // superstep boundary (see edge_map)
   detail::edge_fold_ranges<T>(eng, CompleteProbe{}, value, commit);
 }
 
@@ -445,6 +452,7 @@ void edge_fold(const Engine& eng, Value&& value, Commit&& commit) {
 template <typename T, typename Value, typename Commit>
 void edge_fold(const Engine& eng, VertexSubset& frontier, Value&& value,
                Commit&& commit) {
+  eng.poll_cancellation();  // superstep boundary (see edge_map)
   if (frontier.is_complete()) {
     detail::edge_fold_ranges<T>(eng, CompleteProbe{}, value, commit);
     return;

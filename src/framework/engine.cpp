@@ -36,6 +36,10 @@ void Engine::rebind(const Graph& g, const order::Partitioning* part) {
   VEBO_CHECK(!scratch_busy_.load(std::memory_order_acquire),
              "rebind during an active edge_map");
   graph_ = &g;
+  // A context bound by a previous query must not dangle into the next
+  // one: rebind happens between queries (quiescence), so clearing here is
+  // safe and makes a leaked binding impossible across epoch swaps.
+  qctx_ = nullptr;
   // rebind requires quiescence (checked above for edge_map; concurrent
   // partitioned_coo is part of the same contract), so a plain store is
   // enough to reset the lazy COO and dense chunk boundaries.

@@ -18,6 +18,7 @@
 #include <mutex>
 #include <string>
 
+#include "framework/cancel.hpp"
 #include "framework/coo_iter.hpp"
 #include "graph/graph.hpp"
 #include "order/partition.hpp"
@@ -125,6 +126,36 @@ class Engine {
     return slot_scratch_.get();
   }
 
+  /// Cooperative-cancellation hook (framework/cancel.hpp): the caller
+  /// that owns the running query binds its QueryContext here for the
+  /// duration of the run; edge_map / edge_apply / edge_fold poll it at
+  /// entry (between supersteps, never inside the dense kernels). Same
+  /// single-caller discipline as the edge_map scratch: bind/poll happen
+  /// on the query's thread, only the flag inside the token is cross-
+  /// thread (atomic). Cleared by rebind() and by ContextBinding.
+  void bind_query_context(const QueryContext* ctx) const { qctx_ = ctx; }
+  const QueryContext* query_context() const { return qctx_; }
+  /// The superstep poll point: throws CancelledError /
+  /// DeadlineExceededError when a bound context says stop; one pointer
+  /// test when nothing is bound.
+  void poll_cancellation() const {
+    if (qctx_ != nullptr) qctx_->checkpoint();
+  }
+
+  /// RAII binder for the query context above (exception-safe unbind).
+  class ContextBinding {
+   public:
+    ContextBinding(const Engine& eng, const QueryContext& ctx) : eng_(&eng) {
+      eng_->bind_query_context(&ctx);
+    }
+    ~ContextBinding() { eng_->bind_query_context(nullptr); }
+    ContextBinding(const ContextBinding&) = delete;
+    ContextBinding& operator=(const ContextBinding&) = delete;
+
+   private:
+    const Engine* eng_;
+  };
+
   /// RAII borrow token enforcing the single-caller rule on the shared
   /// scratch above: a second concurrent (or reentrant) borrower throws
   /// instead of silently corrupting frontiers.
@@ -159,6 +190,7 @@ class Engine {
   mutable std::unique_ptr<VertexId[]> slot_scratch_;  // see slot_scratch()
   mutable std::size_t slot_capacity_ = 0;
   mutable std::atomic<bool> scratch_busy_{false};  // see ScratchLease
+  mutable const QueryContext* qctx_ = nullptr;  // see bind_query_context()
 };
 
 }  // namespace vebo

@@ -20,9 +20,25 @@ constexpr std::uint32_t kBinaryVersion = 2;
 std::uint32_t binary_format_version() { return kBinaryVersion; }
 
 namespace {
+/// Shared validation for an untrusted CSR row table before any indexing:
+/// the offsets must start at 0, be monotone, and end exactly at the edge
+/// array's size — otherwise graph_from_csr_rows below would read
+/// targets[] out of bounds on hostile input.
+void check_csr_rows(VertexId n, const std::vector<EdgeId>& offsets,
+                    std::uint64_t num_targets) {
+  VEBO_CHECK(offsets.size() == static_cast<std::size_t>(n) + 1,
+             "offset table size mismatch");
+  VEBO_CHECK(offsets[0] == 0, "offsets must start at 0");
+  for (VertexId v = 0; v < n; ++v)
+    VEBO_CHECK(offsets[v] <= offsets[v + 1], "offsets not monotone");
+  VEBO_CHECK(static_cast<std::uint64_t>(offsets[n]) == num_targets,
+             "offset table does not cover the edge array");
+}
+
 Graph graph_from_csr_rows(VertexId n, const std::vector<EdgeId>& offsets,
                           const std::vector<VertexId>& targets,
                           bool directed) {
+  check_csr_rows(n, offsets, targets.size());
   std::vector<Edge> edges;
   edges.reserve(targets.size());
   for (VertexId v = 0; v < n; ++v)
@@ -57,6 +73,23 @@ Graph read_adjacency(std::istream& is, bool directed) {
   std::uint64_t n = 0, m = 0;
   is >> n >> m;
   VEBO_CHECK(is.good(), "truncated adjacency header");
+  VEBO_CHECK(n <= kInvalidVertex, "vertex count out of range");
+  // Reject absurd counts before allocating: every offset/target costs at
+  // least two bytes of text ("0\n"), so a seekable stream bounds how
+  // many entries the header can honestly promise. A crafted "n = 10^15"
+  // header must fail here, not inside a 8 PB vector allocation.
+  const auto body_start = is.tellg();
+  if (body_start != std::istream::pos_type(-1)) {
+    is.seekg(0, std::ios::end);
+    const auto end = is.tellg();
+    is.seekg(body_start);
+    if (end != std::istream::pos_type(-1) && end >= body_start) {
+      const std::uint64_t remaining =
+          static_cast<std::uint64_t>(end - body_start);
+      VEBO_CHECK(n <= remaining / 2 && m <= remaining / 2,
+                 "counts implausible for stream size");
+    }
+  }
   std::vector<EdgeId> offsets(n + 1, 0);
   for (std::uint64_t v = 0; v < n; ++v) {
     is >> offsets[v];
@@ -68,8 +101,6 @@ Graph read_adjacency(std::istream& is, bool directed) {
     is >> targets[e];
     VEBO_CHECK(!is.fail(), "truncated edge targets");
   }
-  for (std::uint64_t v = 0; v < n; ++v)
-    VEBO_CHECK(offsets[v] <= offsets[v + 1], "offsets not monotone");
   return graph_from_csr_rows(static_cast<VertexId>(n), offsets, targets,
                              directed);
 }
@@ -150,8 +181,11 @@ Graph read_binary_file(const std::string& path) {
   VEBO_CHECK(n <= kInvalidVertex, "vertex count out of range: " + path);
   is.seekg(0, std::ios::end);
   const auto file_size = static_cast<std::uint64_t>(is.tellg());
-  // Bound m before the multiply below so a crafted huge m cannot wrap
-  // `expected` around and dodge the size check.
+  // Bound both counts before the multiplies below so a crafted huge n or
+  // m cannot wrap `expected` around and dodge the size check (and so the
+  // vector allocations below are bounded by the actual file size).
+  VEBO_CHECK(n <= file_size / sizeof(EdgeId),
+             "vertex count implausible for file size: " + path);
   VEBO_CHECK(m <= file_size / sizeof(VertexId),
              "edge count implausible for file size: " + path);
   const std::uint64_t expected = sizeof kBinaryMagic + sizeof version +

@@ -140,6 +140,14 @@ std::size_t EnginePool::size() const {
   return entries_.size();
 }
 
+std::size_t EnginePool::outstanding() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  std::size_t busy = 0;
+  for (const auto& e : entries_)
+    if (e->busy) ++busy;
+  return busy;
+}
+
 EnginePoolStats EnginePool::stats() const {
   std::lock_guard<std::mutex> lk(mutex_);
   return stats_;

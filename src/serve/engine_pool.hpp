@@ -93,6 +93,9 @@ class EnginePool {
   Lease lease(const SnapshotRef& snapshot);
 
   std::size_t size() const;
+  /// Leases currently outstanding (busy entries). 0 when every borrowed
+  /// engine has been returned — the chaos tests' lease-leak invariant.
+  std::size_t outstanding() const;
   const EnginePoolOptions& options() const { return opts_; }
   EnginePoolStats stats() const;
 

@@ -1,11 +1,25 @@
 #include "serve/graph_service.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "algorithms/registry.hpp"
 #include "support/error.hpp"
+#include "support/fault.hpp"
 
 namespace vebo::serve {
+
+namespace {
+
+std::int64_t steady_now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::size_t code_index(ErrorCode c) { return static_cast<std::size_t>(c); }
+
+}  // namespace
 
 const char* to_string(SubmitStatus s) {
   switch (s) {
@@ -33,9 +47,15 @@ GraphService::GraphService(SnapshotStore& store, GraphServiceOptions opts)
   VEBO_CHECK(!opts_.enable_cache || opts_.cache_capacity >= 1,
              "GraphService: cache_capacity must be >= 1 "
              "(set enable_cache = false to serve uncached)");
+  VEBO_CHECK(!opts_.serve_stale || opts_.enable_cache,
+             "GraphService: serve_stale requires enable_cache "
+             "(stale answers come from the retired cache generation)");
   workers_.reserve(opts_.workers);
+  worker_state_.reserve(opts_.workers);
   for (std::size_t i = 0; i < opts_.workers; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    worker_state_.push_back(std::make_unique<WorkerState>());
+  for (std::size_t i = 0; i < opts_.workers; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
 }
 
 GraphService::~GraphService() { stop(); }
@@ -43,6 +63,14 @@ GraphService::~GraphService() { stop(); }
 Submission GraphService::submit(Query q) {
   Submission sub;
   Item item;
+  // The deadline is made absolute at admission: queue wait counts
+  // against the budget, and the shed check / superstep polls compare
+  // against one fixed time point.
+  if (q.deadline_ms > 0)
+    item.ctx.set_deadline(QueryContext::Clock::now() +
+                          std::chrono::microseconds(static_cast<std::int64_t>(
+                              q.deadline_ms * 1000.0)));
+  if (q.cancel.can_be_cancelled()) item.ctx.set_cancel_token(q.cancel);
   item.q = std::move(q);
   sub.result = item.promise.get_future();
   {
@@ -58,10 +86,25 @@ Submission GraphService::submit(Query q) {
       queue_.push_back(std::move(item));
     }
   }
+  // Graceful degradation: a backpressure rejection may instead be
+  // answered from the previous-epoch generation (stale-serve mode only;
+  // the result carries stale=true). The submission then counts as
+  // accepted + completed, never as rejected.
+  if (sub.status == SubmitStatus::QueueFull && try_serve_stale(item)) {
+    sub.status = SubmitStatus::Accepted;
+    std::lock_guard<std::mutex> lk(stats_mutex_);
+    ++stats_.submitted;
+    return sub;
+  }
   {
     std::lock_guard<std::mutex> lk(stats_mutex_);
     ++stats_.submitted;
-    if (sub.status != SubmitStatus::Accepted) ++stats_.rejected;
+    if (sub.status != SubmitStatus::Accepted) {
+      ++stats_.rejected;
+      // Rejections carry no future, so the code lands in the counter
+      // only (nothing to attach a ServiceError to).
+      ++stats_.errors_by_code[code_index(ErrorCode::Overloaded)];
+    }
   }
   if (sub.status == SubmitStatus::Accepted) {
     queue_cv_.notify_one();
@@ -71,12 +114,21 @@ Submission GraphService::submit(Query q) {
   return sub;
 }
 
-QueryResult GraphService::query(Query q) {
-  Submission sub = submit(std::move(q));
-  if (!sub.accepted())
-    throw Error(std::string("GraphService: query rejected (") +
-                to_string(sub.status) + ")");
-  return sub.result.get();
+QueryResult GraphService::query(Query q, RetryPolicy retry) {
+  double backoff_ms = retry.initial_backoff_ms;
+  for (int attempt = 1;; ++attempt) {
+    Submission sub = submit(q);  // keep q for a possible retry
+    if (sub.accepted()) return sub.result.get();
+    // Stopped is terminal; QueueFull is the retryable overload signal.
+    if (sub.status == SubmitStatus::Stopped || attempt >= retry.max_attempts)
+      throw ServiceError(ErrorCode::Overloaded,
+                         std::string("GraphService: query rejected (") +
+                             to_string(sub.status) + ")");
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        std::max(0.0, backoff_ms)));
+    backoff_ms = std::min(backoff_ms * retry.multiplier,
+                          retry.max_backoff_ms);
+  }
 }
 
 std::uint64_t GraphService::publish(
@@ -85,7 +137,7 @@ std::uint64_t GraphService::publish(
   const std::uint64_t v =
       store_.publish(std::move(graph), std::move(partitioning),
                      std::move(perm));
-  invalidate_cache();
+  invalidate_cache(v);
   return v;
 }
 
@@ -110,7 +162,8 @@ void GraphService::stop() {
   workers_.clear();
 }
 
-void GraphService::worker_loop() {
+void GraphService::worker_loop(std::size_t worker_idx) {
+  WorkerState& ws = *worker_state_[worker_idx];
   for (;;) {
     Item item;
     {
@@ -120,40 +173,80 @@ void GraphService::worker_loop() {
       item = std::move(queue_.front());
       queue_.pop_front();
     }
+    // Heartbeat: busy from pickup to promise resolution, so
+    // health().oldest_running_ms sees queue-stall and run time alike.
+    ws.busy_since_us.store(steady_now_us(), std::memory_order_release);
+    // Chaos hook: a stalled worker between pickup and execution — the
+    // window where deadlines lapse after the queue check would pass.
+    FaultInjector::instance().delay_point(FaultInjector::Hook::WorkerStall);
     process(item);
+    ws.processed.fetch_add(1, std::memory_order_relaxed);
+    ws.busy_since_us.store(-1, std::memory_order_release);
   }
 }
 
 void GraphService::process(Item& item) {
+  // Shed before execution: a queued query whose client already gave up
+  // (cancel fired / deadline lapsed) must fail fast — no snapshot pin,
+  // no engine lease, no run.
+  if (item.ctx.cancelled()) {
+    {
+      std::lock_guard<std::mutex> lk(stats_mutex_);
+      ++stats_.shed_cancelled;
+    }
+    fail(item, ErrorCode::Cancelled, "query cancelled while queued");
+    return;
+  }
+  if (item.ctx.deadline_expired()) {
+    {
+      std::lock_guard<std::mutex> lk(stats_mutex_);
+      ++stats_.shed_deadline;
+    }
+    // Deadline pressure is exactly what stale-serve degrades under: a
+    // previous-epoch answer now beats a typed failure.
+    if (try_serve_stale(item)) return;
+    fail(item, ErrorCode::DeadlineExceeded,
+         "query deadline expired while queued (shed before execution)");
+    return;
+  }
   try {
     QueryResult r;
     const SnapshotRef snap = store_.acquire();
     if (!snap)
-      throw Error("GraphService: no snapshot published yet");
+      throw ServiceError(ErrorCode::NoSnapshot,
+                         "GraphService: no snapshot published yet");
     const algo::AlgorithmSpec* spec = algo::find_spec(item.q.algo);
     if (spec == nullptr)
-      throw Error("GraphService: unknown algorithm code: " + item.q.algo);
+      throw ServiceError(ErrorCode::BadRequest,
+                         "GraphService: unknown algorithm code: " +
+                             item.q.algo);
 
     // Validate against the schema (throws on unknown/ill-typed params,
     // fills defaults) with the legacy `source` field folded in. The
     // normalized set stays in ORIGINAL ids — it is the client-visible
-    // identity of the query, and what the cache keys on.
-    algo::QueryParams raw = item.q.params;
+    // identity of the query, and what the cache keys on. Validation
+    // failures are the client's fault: BadRequest, never Internal.
+    algo::QueryParams norm;
     const bool takes_source = spec->params.find("source") != nullptr;
-    if (takes_source && !raw.has("source")) raw.set("source", item.q.source);
-    const algo::QueryParams norm = spec->params.validate(raw);
-
     const Permutation* perm = snap.perm();
     VertexId source = 0;
-    if (takes_source) {
-      source = norm.get_vertex("source");
-      if (perm != nullptr) {
-        VEBO_CHECK(source < static_cast<VertexId>(perm->size()),
+    try {
+      algo::QueryParams raw = item.q.params;
+      if (takes_source && !raw.has("source"))
+        raw.set("source", item.q.source);
+      norm = spec->params.validate(raw);
+      if (takes_source) {
+        source = norm.get_vertex("source");
+        if (perm != nullptr) {
+          VEBO_CHECK(source < static_cast<VertexId>(perm->size()),
+                     "GraphService: source out of range");
+          source = (*perm)[source];
+        }
+        VEBO_CHECK(source < snap.graph().num_vertices(),
                    "GraphService: source out of range");
-        source = (*perm)[source];
       }
-      VEBO_CHECK(source < snap.graph().num_vertices(),
-                 "GraphService: source out of range");
+    } catch (const Error& e) {
+      throw ServiceError(ErrorCode::BadRequest, e.what());
     }
     r.version = snap.version();
 
@@ -177,7 +270,22 @@ void GraphService::process(Item& item) {
       algo::QueryParams exec = norm;
       if (takes_source) exec.set("source", source);
       EnginePool::Lease lease = pool_.lease(snap);
-      algo::QueryPayload payload = spec->run(lease.engine(), exec);
+      // Chaos hook: a query that fails after the lease was taken — the
+      // lease must come back via RAII (invariant: outstanding() drains
+      // to zero whatever happens below).
+      FaultInjector::instance().failure_point(
+          FaultInjector::Hook::QueryThrow, "query execution");
+      algo::QueryPayload payload;
+      {
+        // Bind the query's context for the duration of the run: the
+        // framework entry points and the algorithms' hand-rolled loops
+        // poll it between supersteps, so cancellation / deadline expiry
+        // stops the traversal within one superstep. RAII unbind keeps a
+        // cancelled run from leaking its context into the engine's next
+        // lease.
+        Engine::ContextBinding bind(lease.engine(), item.ctx);
+        payload = spec->run(lease.engine(), exec, item.ctx);
+      }
       lease.release();
       // The fold runs in snapshot order — the order the legacy surface
       // sums in — so checksums stay byte-identical across orderings.
@@ -185,6 +293,10 @@ void GraphService::process(Item& item) {
       // Translation is skipped entirely when nobody will see the payload
       // (checksum-only query, cache off) — scalar answers stay cheap.
       std::shared_ptr<const algo::QueryPayload> shared;
+      // Chaos hook: allocation failure at the one serve-path allocation
+      // that scales with the answer (per-vertex payload copy).
+      FaultInjector::instance().failure_point(
+          FaultInjector::Hook::AllocThrow, "payload allocation");
       if (want_payload || opts_.enable_cache)
         shared = std::make_shared<const algo::QueryPayload>(
             perm != nullptr
@@ -202,7 +314,15 @@ void GraphService::process(Item& item) {
             // cached — snap.version() < cache_version_ must never
             // resurrect entries for a superseded graph.
             if (cache_version_ < snap.version()) {
-              cache_.clear();
+              if (opts_.serve_stale) {
+                // A publish bypassed this service's publish() (straight
+                // into the store): rotate here so the superseded
+                // generation stays servable, same as the publish path.
+                cache_.rotate();
+                stale_version_ = cache_version_;
+              } else {
+                cache_.clear();
+              }
               cache_version_ = snap.version();
               cache_.insert(key, {r.value, shared});
             }
@@ -226,24 +346,135 @@ void GraphService::process(Item& item) {
       if (hit) ++stats_.cache_hits;
     }
     item.promise.set_value(r);
-  } catch (...) {
+  } catch (const ServiceError& e) {
+    // Already typed: count the code and hand the original object on.
     {
       std::lock_guard<std::mutex> lk(stats_mutex_);
       ++stats_.failed;
+      ++stats_.errors_by_code[code_index(e.code())];
     }
     item.promise.set_exception(std::current_exception());
+  } catch (const CancelledError& e) {
+    // Cooperative checkpoint fired mid-run (within one superstep of the
+    // cancel); retype so clients branch on code().
+    fail(item, ErrorCode::Cancelled, e.what());
+  } catch (const DeadlineExceededError& e) {
+    fail(item, ErrorCode::DeadlineExceeded, e.what());
+  } catch (const std::exception& e) {
+    // Algorithm throw, translation failure, allocation failure, injected
+    // fault — anything that escaped the run. The engine lease and the
+    // snapshot pin were released by RAII on the unwind.
+    fail(item, ErrorCode::Internal, e.what());
+  } catch (...) {
+    fail(item, ErrorCode::Internal, "unknown exception");
   }
 }
 
-void GraphService::invalidate_cache() {
-  std::lock_guard<std::mutex> lk(cache_mutex_);
-  if (cache_.size() != 0) {
-    cache_.clear();
+void GraphService::fail(Item& item, ErrorCode code, const std::string& what) {
+  {
+    std::lock_guard<std::mutex> lk(stats_mutex_);
+    ++stats_.failed;
+    ++stats_.errors_by_code[code_index(code)];
+  }
+  // set_exception, not throw: the worker thread must survive the failure
+  // and the client must see it — exactly once each.
+  item.promise.set_exception(
+      std::make_exception_ptr(ServiceError(code, what)));
+}
+
+bool GraphService::try_serve_stale(Item& item) {
+  if (!opts_.serve_stale) return false;
+  // The stale key is the same canonical identity a live lookup would
+  // use; anything that fails here (unknown code, bad params) just means
+  // "no stale answer" — the caller produces the real typed error.
+  const algo::AlgorithmSpec* spec = algo::find_spec(item.q.algo);
+  if (spec == nullptr) return false;
+  algo::QueryParams norm;
+  try {
+    algo::QueryParams raw = item.q.params;
+    if (spec->params.find("source") != nullptr && !raw.has("source"))
+      raw.set("source", item.q.source);
+    norm = spec->params.validate(raw);
+  } catch (...) {
+    return false;
+  }
+  const CacheKey key = CacheKey::make(spec->code, norm);
+  QueryResult r;
+  {
+    std::lock_guard<std::mutex> lk(cache_mutex_);
+    const ResultCache::Value* v = cache_.find_stale(key);
+    if (v == nullptr) return false;
+    r.value = v->checksum;
+    if (item.q.result == ResultKind::Payload) r.payload = v->payload;
+    // The epoch the retired generation was computed on — the client can
+    // see exactly how stale the answer is.
+    r.version = stale_version_;
+  }
+  r.stale = true;
+  r.cache_hit = true;
+  r.latency_ms = item.submitted.elapsed_ms();
+  record(r.latency_ms);
+  {
+    std::lock_guard<std::mutex> lk(stats_mutex_);
+    ++stats_.completed;
+    ++stats_.stale_served;
+  }
+  item.promise.set_value(r);
+  return true;
+}
+
+void GraphService::invalidate_cache(std::uint64_t published_version) {
+  bool wiped = false;
+  {
+    std::lock_guard<std::mutex> lk(cache_mutex_);
+    wiped = cache_.size() != 0;
+    if (opts_.serve_stale) {
+      // Rotate unconditionally: the retired generation must never lag
+      // more than one epoch (an empty live generation displacing an
+      // older stale one is correct — no stale answer beats an ancient
+      // one). Advance the version eagerly so the rotation and its epoch
+      // stamp stay consistent.
+      cache_.rotate();
+      stale_version_ = cache_version_;
+      if (published_version > cache_version_)
+        cache_version_ = published_version;
+    } else {
+      if (wiped) cache_.clear();
+      // Leave cache_version_ behind the store version; the next miss
+      // brings the generation forward.
+    }
+  }
+  if (wiped) {
     std::lock_guard<std::mutex> slk(stats_mutex_);
     ++stats_.invalidations;
   }
-  // Leave cache_version_ behind the store version; the next miss brings
-  // the generation forward.
+}
+
+ServiceHealth GraphService::health() const {
+  ServiceHealth h;
+  {
+    std::lock_guard<std::mutex> lk(queue_mutex_);
+    h.accepting = !stopping_;
+    h.queue_depth = queue_.size();
+  }
+  const std::int64_t now_us = steady_now_us();
+  h.workers.reserve(worker_state_.size());
+  for (const auto& ws : worker_state_) {
+    WorkerHealth w;
+    w.processed = ws->processed.load(std::memory_order_relaxed);
+    const std::int64_t since = ws->busy_since_us.load(std::memory_order_acquire);
+    if (since >= 0) {
+      w.busy = true;
+      // Clamp: the worker may have stamped after our now_us read.
+      w.busy_ms = static_cast<double>(std::max<std::int64_t>(
+                      0, now_us - since)) /
+                  1000.0;
+      ++h.in_flight;
+      h.oldest_running_ms = std::max(h.oldest_running_ms, w.busy_ms);
+    }
+    h.workers.push_back(w);
+  }
+  return h;
 }
 
 void GraphService::record(double latency_ms) {

@@ -46,8 +46,23 @@
 // translated back to original ids exactly once, inside the worker that
 // computed them (never under the cache lock); scalar answers skip
 // translation entirely.
+// Overload behavior (PR 6): queries may carry a deadline and a cancel
+// token. A deadline that lapses while the query is queued sheds it before
+// any execution (fails fast with ErrorCode::DeadlineExceeded); a running
+// query observes cancellation/deadline at its next edge_map superstep
+// via the QueryContext bound to the leased engine. Every serve-path
+// failure is a ServiceError with a machine-readable code, counted
+// per-code in GraphServiceStats. In the opt-in stale-serve mode
+// (GraphServiceOptions::serve_stale) publish rotates the result cache
+// instead of wiping it, and overload/deadline-shed queries may be
+// answered from the retired previous-epoch generation — always marked
+// QueryResult::stale = true with the epoch the answer was computed on.
+// health() reports queue depth, in-flight count, the oldest running
+// query's age, and a per-worker heartbeat.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <future>
@@ -58,9 +73,11 @@
 #include <vector>
 
 #include "algorithms/query.hpp"
+#include "framework/cancel.hpp"
 #include "graph/permute.hpp"
 #include "serve/engine_pool.hpp"
 #include "serve/result_cache.hpp"
+#include "serve/service_error.hpp"
 #include "serve/snapshot_store.hpp"
 #include "stream/session.hpp"
 #include "support/histogram.hpp"
@@ -81,6 +98,11 @@ struct GraphServiceOptions {
   /// overflow.
   bool enable_cache = true;
   std::size_t cache_capacity = 4096;
+  /// Opt-in graceful degradation: keep one previous-epoch cache
+  /// generation across publish and answer overload/deadline-shed queries
+  /// from it (marked stale) instead of rejecting. Requires enable_cache.
+  /// Off by default — default-mode behavior is identical to PR 5.
+  bool serve_stale = false;
 };
 
 /// What shape of answer the client wants back.
@@ -98,6 +120,15 @@ struct Query {
   /// Vertex-id params are in the header comment's id space.
   algo::QueryParams params;
   ResultKind result = ResultKind::Checksum;
+  /// Relative deadline from submit; 0 = none. Expired-while-queued
+  /// queries are shed before execution; expiry mid-run is observed at
+  /// the next superstep. Both fail with ErrorCode::DeadlineExceeded
+  /// (or are answered stale in stale-serve mode).
+  double deadline_ms = 0;
+  /// Cooperative cancel handle (CancelSource::token()). Default tokens
+  /// can never fire. Cancellation is observed within one superstep and
+  /// fails the future with ErrorCode::Cancelled.
+  CancelToken cancel;
 };
 
 struct QueryResult {
@@ -109,6 +140,10 @@ struct QueryResult {
   std::uint64_t version = 0;   ///< epoch the query ran on
   bool cache_hit = false;
   double latency_ms = 0;       ///< submit -> completion, queue wait included
+  /// True iff the answer came from the previous-epoch cache generation
+  /// (stale-serve mode only; `version` is the epoch it was computed on).
+  /// Default-mode results are never stale.
+  bool stale = false;
 };
 
 enum class SubmitStatus : std::uint8_t { Accepted, QueueFull, Stopped };
@@ -128,6 +163,51 @@ struct GraphServiceStats {
   std::uint64_t cache_hits = 0;
   std::uint64_t invalidations = 0;  ///< cache wipes (publish / epoch change)
   std::uint64_t evictions = 0;      ///< single entries LRU-evicted when full
+  /// Accepted queries shed before execution (deadline lapsed / cancelled
+  /// while queued). Every shed is also counted in `failed` (the future
+  /// resolves exceptionally) unless it was answered stale instead.
+  std::uint64_t shed_deadline = 0;
+  std::uint64_t shed_cancelled = 0;
+  /// Answers served from the previous-epoch generation (stale=true).
+  std::uint64_t stale_served = 0;
+  /// Failures by ServiceError code; indexed by static_cast<ErrorCode>.
+  /// Sums to `failed` plus the Overloaded count of rejected submits
+  /// (which carry no future and are not in `failed`).
+  std::array<std::uint64_t, kNumErrorCodes> errors_by_code{};
+
+  std::uint64_t errors(ErrorCode c) const {
+    return errors_by_code[static_cast<std::size_t>(c)];
+  }
+};
+
+/// Backoff schedule for the convenience query() helper. Only rejected
+/// submits (QueueFull) are retried — failed futures rethrow immediately,
+/// and Stopped is terminal. The default makes one attempt: no behavior
+/// change for existing callers.
+struct RetryPolicy {
+  int max_attempts = 1;
+  double initial_backoff_ms = 1;
+  double multiplier = 2;
+  double max_backoff_ms = 100;
+};
+
+/// One worker's heartbeat: queries it has finished and what it is doing
+/// right now. `busy_ms` is the age of the query it is running (0 idle).
+struct WorkerHealth {
+  std::uint64_t processed = 0;
+  bool busy = false;
+  double busy_ms = 0;
+};
+
+/// Point-in-time service health for external monitoring / load shedding.
+struct ServiceHealth {
+  bool accepting = false;        ///< false once stop() began
+  std::size_t queue_depth = 0;   ///< queries waiting (not yet picked up)
+  std::size_t in_flight = 0;     ///< queries currently executing
+  /// Age of the oldest currently-running query (0 when idle). A large
+  /// value with a deep queue is the overload signal.
+  double oldest_running_ms = 0;
+  std::vector<WorkerHealth> workers;
 };
 
 struct LatencySummary {
@@ -145,12 +225,16 @@ class GraphService {
   GraphService(const GraphService&) = delete;
   GraphService& operator=(const GraphService&) = delete;
 
-  /// Non-blocking admission. Rejections carry no future.
+  /// Non-blocking admission. Rejections carry no future. In stale-serve
+  /// mode a QueueFull submit may instead be accepted and answered
+  /// immediately from the previous-epoch generation (stale=true).
   Submission submit(Query q);
 
-  /// Convenience: submit and wait; throws vebo::Error on rejection and
-  /// rethrows query failures.
-  QueryResult query(Query q);
+  /// Convenience: submit and wait; throws ServiceError(Overloaded) when
+  /// every attempt is rejected and rethrows query failures. `retry`
+  /// controls backoff-retry of QueueFull rejections (default: one
+  /// attempt, no retry).
+  QueryResult query(Query q, RetryPolicy retry = {});
 
   /// Publishes a new epoch into the store and invalidates the result
   /// cache. `perm` (optional) maps original ids -> snapshot positions so
@@ -170,6 +254,7 @@ class GraphService {
 
   GraphServiceStats stats() const;
   LatencySummary latency() const;
+  ServiceHealth health() const;
   const SnapshotStore& store() const { return store_; }
   const EnginePool& engine_pool() const { return pool_; }
 
@@ -178,30 +263,55 @@ class GraphService {
     Query q;
     std::promise<QueryResult> promise;
     Timer submitted;
+    /// Deadline (absolute, fixed at submit) + the client's cancel token;
+    /// polled by the shed check and, via the engine binding, at every
+    /// superstep of the run.
+    QueryContext ctx;
   };
 
-  void worker_loop();
+  /// Per-worker heartbeat state. busy_since_us is a steady-clock
+  /// microsecond stamp; < 0 means idle.
+  struct WorkerState {
+    std::atomic<std::uint64_t> processed{0};
+    std::atomic<std::int64_t> busy_since_us{-1};
+  };
+
+  void worker_loop(std::size_t worker_idx);
   void process(Item& item);
-  void invalidate_cache();
+  /// Fails the item's future with a ServiceError of the given code,
+  /// counting `failed` and the per-code counter exactly once.
+  void fail(Item& item, ErrorCode code, const std::string& what);
+  /// Stale-serve attempt for a query that would otherwise fail
+  /// (overload / deadline shed). Returns true iff the promise was
+  /// fulfilled from the previous-epoch generation.
+  bool try_serve_stale(Item& item);
+  void invalidate_cache(std::uint64_t published_version);
   void record(double latency_ms);
 
   SnapshotStore& store_;
   GraphServiceOptions opts_;
   EnginePool pool_;
 
-  std::mutex queue_mutex_;
+  mutable std::mutex queue_mutex_;  ///< mutable: health() reads depth
   std::condition_variable queue_cv_;
   std::deque<Item> queue_;
   bool stopping_ = false;
   std::mutex stop_mutex_;  ///< serializes stop() callers (idempotence)
   std::vector<std::thread> workers_;
+  /// Heartbeats, one per worker; stable addresses (vector of unique_ptr
+  /// because atomics are not movable).
+  std::vector<std::unique_ptr<WorkerState>> worker_state_;
 
   /// Single-epoch result cache: entries are valid for `cache_version_`
   /// only. Lookups that observe a newer epoch clear it lazily, so even a
   /// publish bypassing this service (straight into the store) cannot
-  /// cause a stale hit. Within an epoch the cache LRU-evicts.
+  /// cause a stale hit. Within an epoch the cache LRU-evicts. In
+  /// stale-serve mode epoch changes rotate instead of wiping:
+  /// `stale_version_` names the epoch the retired generation was
+  /// computed on.
   mutable std::mutex cache_mutex_;
   std::uint64_t cache_version_ = 0;
+  std::uint64_t stale_version_ = 0;
   ResultCache cache_;
 
   mutable std::mutex stats_mutex_;

@@ -1,6 +1,7 @@
 #include "serve/snapshot_store.hpp"
 
 #include "support/error.hpp"
+#include "support/fault.hpp"
 
 namespace vebo::serve {
 
@@ -36,6 +37,11 @@ std::uint64_t SnapshotStore::publish(std::shared_ptr<const Graph> graph,
         delete s;
       });
 
+  // Chaos hook: a slow writer widens the window where readers race the
+  // epoch swap. Sits before the lock so a stalled publish never blocks
+  // acquire().
+  FaultInjector::instance().delay_point(FaultInjector::Hook::PublishDelay);
+
   std::shared_ptr<const Snapshot> prev;  // destroyed outside the lock
   {
     std::lock_guard<std::mutex> lk(mutex_);
@@ -53,6 +59,9 @@ std::uint64_t SnapshotStore::publish(std::shared_ptr<const Graph> graph,
 }
 
 SnapshotRef SnapshotStore::acquire() const {
+  // Chaos hook: a slow acquire stretches the read side of the
+  // publish/acquire race (outside the lock — delay, don't serialize).
+  FaultInjector::instance().delay_point(FaultInjector::Hook::AcquireDelay);
   std::lock_guard<std::mutex> lk(mutex_);
   return SnapshotRef(current_);
 }

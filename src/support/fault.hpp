@@ -1,0 +1,141 @@
+// FaultInjector: deterministic, seeded fault injection for the chaos
+// tests (tests/test_chaos.cpp).
+//
+// The serving stack exposes a small set of named hook points (publish,
+// worker pickup, query execution, snapshot acquire, payload allocation).
+// Each hook can be armed with a firing rate and an action — a delay, a
+// thrown exception — and fires deterministically: the decision for the
+// k-th visit to a hook is mix64(seed ^ hook ^ k) compared against the
+// rate, so a chaos run replays identically for a given seed regardless
+// of thread interleaving *of the decisions* (which thread gets visit k
+// may vary, but the total number of firings per N visits does not drift).
+//
+// Cost when disarmed: the hooks sit only on control paths (publish,
+// admission, per-query setup) — never inside traversal kernels — and a
+// disarmed hook is one relaxed atomic load. Production builds keep the
+// hooks compiled in; there is nothing to configure and nothing to fire
+// unless a test arms the injector.
+//
+// Thread-safety: arm()/disarm_all()/seed() are meant to be called from
+// the test driver while the hooks may be concurrently visited; all state
+// is atomic. InjectedFault derives from vebo::Error so the serving
+// layer's catch-all maps it to ErrorCode::Internal like any other
+// algorithm failure.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <new>
+#include <thread>
+
+#include "support/error.hpp"
+#include "support/prng.hpp"
+
+namespace vebo {
+
+/// The exception a Throw-armed hook raises.
+class InjectedFault : public Error {
+ public:
+  explicit InjectedFault(const std::string& what)
+      : Error("injected fault: " + what) {}
+};
+
+class FaultInjector {
+ public:
+  enum class Hook : std::uint8_t {
+    PublishDelay = 0,   ///< sleep inside publish, before the epoch swap
+    WorkerStall = 1,    ///< sleep in the worker between pickup and run
+    QueryThrow = 2,     ///< throw InjectedFault instead of running a query
+    AcquireDelay = 3,   ///< sleep inside SnapshotStore::acquire
+    AllocThrow = 4,     ///< throw std::bad_alloc at payload allocation
+  };
+  static constexpr std::size_t kNumHooks = 5;
+
+  static FaultInjector& instance() {
+    static FaultInjector inj;
+    return inj;
+  }
+
+  /// Arms one hook: it fires on approximately `rate` of visits
+  /// (0 disarms, 1 fires always); delay hooks sleep `delay_us` when they
+  /// fire. Resets the hook's visit counter so runs are reproducible.
+  void arm(Hook h, double rate, std::uint64_t delay_us = 0) {
+    State& s = state_[index(h)];
+    // Fixed-point threshold in [0, 2^64): fire when mix64 < threshold.
+    const double clamped = rate < 0 ? 0 : (rate > 1 ? 1 : rate);
+    s.threshold.store(
+        clamped >= 1 ? ~std::uint64_t{0}
+                     : static_cast<std::uint64_t>(
+                           clamped * 18446744073709551616.0 /* 2^64 */),
+        std::memory_order_relaxed);
+    s.delay_us.store(delay_us, std::memory_order_relaxed);
+    s.visits.store(0, std::memory_order_relaxed);
+    s.fired.store(0, std::memory_order_relaxed);
+    s.armed.store(clamped > 0, std::memory_order_release);
+  }
+
+  void disarm_all() {
+    for (State& s : state_) {
+      s.armed.store(false, std::memory_order_release);
+      s.threshold.store(0, std::memory_order_relaxed);
+      s.delay_us.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  void seed(std::uint64_t s) { seed_.store(s, std::memory_order_relaxed); }
+
+  std::uint64_t fired(Hook h) const {
+    return state_[index(h)].fired.load(std::memory_order_relaxed);
+  }
+
+  /// A sleep-style hook point: sleeps the armed delay when the visit
+  /// fires. One relaxed load when disarmed.
+  void delay_point(Hook h) {
+    State& s = state_[index(h)];
+    if (!s.armed.load(std::memory_order_acquire)) return;
+    if (decide(h, s)) {
+      const std::uint64_t us = s.delay_us.load(std::memory_order_relaxed);
+      if (us != 0)
+        std::this_thread::sleep_for(std::chrono::microseconds(us));
+    }
+  }
+
+  /// A throw-style hook point: raises when the visit fires
+  /// (InjectedFault, or std::bad_alloc for AllocThrow). One relaxed load
+  /// when disarmed.
+  void failure_point(Hook h, const char* where) {
+    State& s = state_[index(h)];
+    if (!s.armed.load(std::memory_order_acquire)) return;
+    if (decide(h, s)) {
+      if (h == Hook::AllocThrow) throw std::bad_alloc{};
+      throw InjectedFault(where);
+    }
+  }
+
+ private:
+  struct State {
+    std::atomic<bool> armed{false};
+    std::atomic<std::uint64_t> threshold{0};
+    std::atomic<std::uint64_t> delay_us{0};
+    std::atomic<std::uint64_t> visits{0};
+    std::atomic<std::uint64_t> fired{0};
+  };
+
+  static std::size_t index(Hook h) { return static_cast<std::size_t>(h); }
+
+  bool decide(Hook h, State& s) {
+    const std::uint64_t k = s.visits.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t roll =
+        mix64(seed_.load(std::memory_order_relaxed) ^
+              (static_cast<std::uint64_t>(index(h)) << 56) ^ k);
+    if (roll >= s.threshold.load(std::memory_order_relaxed)) return false;
+    s.fired.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  State state_[kNumHooks];
+  std::atomic<std::uint64_t> seed_{0x5eedf417u};
+};
+
+}  // namespace vebo

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <functional>
 #include <sstream>
 
 #include "gen/synthetic.hpp"
@@ -370,6 +372,91 @@ TEST(Io, BinaryRejectsBadMagic) {
   }
   EXPECT_THROW(io::read_binary_file(path), Error);
   std::remove(path.c_str());
+}
+
+// Corrupt-file corpus: every mutation below keeps the file well-formed
+// enough to pass the magic/version checks, so each exercises a specific
+// validation (absurd counts before allocation, offset-table bounds
+// before indexing, target range). A reader without those checks would
+// allocate petabytes or read out of bounds — it must throw instead.
+TEST(Io, BinaryRejectsCorruptCorpus) {
+  const Graph g = gen::figure3_example();  // n = 6, m = 14
+  const std::string path = ::testing::TempDir() + "/vebo_corpus.bin";
+  io::write_binary_file(path, g);
+  std::string pristine;
+  {
+    std::ifstream is(path, std::ios::binary);
+    std::stringstream ss;
+    ss << is.rdbuf();
+    pristine = ss.str();
+  }
+  // Layout: magic(8) version(4) n(8) m(8) dir(1) offsets((n+1)*8)
+  // targets(m*4).
+  constexpr std::size_t kNPos = 12, kMPos = 20, kOffsets = 29;
+  const std::size_t kTargets = kOffsets + 7 * sizeof(EdgeId);
+
+  auto poke64 = [](std::string& b, std::size_t pos, std::uint64_t v) {
+    std::memcpy(&b[pos], &v, sizeof v);
+  };
+  auto poke32 = [](std::string& b, std::size_t pos, std::uint32_t v) {
+    std::memcpy(&b[pos], &v, sizeof v);
+  };
+
+  struct Case {
+    const char* name;
+    std::function<void(std::string&)> mutate;
+  };
+  const Case corpus[] = {
+      {"absurd vertex count",
+       [&](std::string& b) { poke64(b, kNPos, std::uint64_t{1} << 60); }},
+      {"absurd edge count",
+       [&](std::string& b) { poke64(b, kMPos, std::uint64_t{1} << 60); }},
+      {"vertex count aliasing payload",  // header/payload size mismatch
+       [&](std::string& b) { poke64(b, kNPos, 5); }},
+      {"offsets not starting at zero",
+       [&](std::string& b) { poke64(b, kOffsets, 3); }},
+      {"non-monotone offsets",  // offsets[2] above offsets[3]
+       [&](std::string& b) { poke64(b, kOffsets + 2 * sizeof(EdgeId), 13); }},
+      {"offset past the edge array",  // offsets[6] != m: OOB read risk
+       [&](std::string& b) { poke64(b, kOffsets + 6 * sizeof(EdgeId), 100); }},
+      {"target vertex out of range",
+       [&](std::string& b) { poke32(b, kTargets, 6); }},
+  };
+  for (const Case& c : corpus) {
+    std::string bytes = pristine;
+    c.mutate(bytes);
+    {
+      std::ofstream os(path, std::ios::binary | std::ios::trunc);
+      os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    }
+    EXPECT_THROW(io::read_binary_file(path), Error) << c.name;
+  }
+  // The pristine bytes still parse — the corpus failures are the
+  // mutations' doing, not environmental.
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(pristine.data(),
+             static_cast<std::streamsize>(pristine.size()));
+  }
+  EXPECT_NO_THROW(io::read_binary_file(path));
+  std::remove(path.c_str());
+}
+
+TEST(Io, AdjacencyRejectsAbsurdCounts) {
+  // A text header promising a trillion vertices must be rejected before
+  // the offsets vector is allocated (the stream is seekable, so the
+  // reader can bound the honest entry count by the remaining bytes).
+  std::stringstream big_n("AdjacencyGraph\n1000000000000\n3\n0\n1\n2\n");
+  EXPECT_THROW(io::read_adjacency(big_n, true), Error);
+  std::stringstream big_m("AdjacencyGraph\n2\n900000000000\n0\n1\n");
+  EXPECT_THROW(io::read_adjacency(big_m, true), Error);
+}
+
+TEST(Io, AdjacencyRejectsNonMonotoneOffsets) {
+  // n=3, m=3, offsets (3, 0, 1): offsets[0] != 0 and a decreasing pair —
+  // either way the row table is invalid and must not drive indexing.
+  std::stringstream ss("AdjacencyGraph\n3\n3\n3\n0\n1\n1\n2\n0\n");
+  EXPECT_THROW(io::read_adjacency(ss, true), Error);
 }
 
 }  // namespace

@@ -13,14 +13,17 @@
 #include <vector>
 
 #include "algorithms/registry.hpp"
+#include "framework/cancel.hpp"
 #include "gen/rmat.hpp"
 #include "graph/permute.hpp"
 #include "order/partition.hpp"
 #include "serve/engine_pool.hpp"
 #include "serve/graph_service.hpp"
+#include "serve/service_error.hpp"
 #include "serve/snapshot_store.hpp"
 #include "stream/session.hpp"
 #include "support/error.hpp"
+#include "support/fault.hpp"
 #include "support/histogram.hpp"
 #include "support/prng.hpp"
 
@@ -824,6 +827,375 @@ TEST(GraphService, WriterAndClientsRunConcurrently) {
   // current epoch + engine-pool pins are alive.
   EXPECT_LE(store.stats().live,
             1 + static_cast<std::uint64_t>(service.engine_pool().size()));
+}
+
+// ------------------------------------------- PR 6: overload hardening
+
+// A long-running query: PR with enough iterations that it cannot finish
+// before the test reacts (each iteration is a polled superstep, so a
+// cancelled run still exits within microseconds).
+Query slow_query(int iterations = 50000000) {
+  Query q;
+  q.algo = "PR";
+  q.params.set("iterations", iterations);
+  return q;
+}
+
+TEST(ServiceError, CodesAreTypedAndCounted) {
+  SnapshotStore store;
+  GraphService service(store, small_service(1));
+  // No snapshot yet -> NoSnapshot, not a bare string error.
+  try {
+    service.query({"CC", 0});
+    FAIL() << "expected ServiceError";
+  } catch (const serve::ServiceError& e) {
+    EXPECT_EQ(e.code(), serve::ErrorCode::NoSnapshot);
+  }
+
+  const Graph base = gen::rmat(8, 4, 201);
+  StreamSession session(base);
+  service.publish_session(session);
+  try {
+    service.query({"NOPE", 0});
+    FAIL() << "expected ServiceError";
+  } catch (const serve::ServiceError& e) {
+    EXPECT_EQ(e.code(), serve::ErrorCode::BadRequest);
+  }
+  try {
+    service.query({"BFS", 1u << 30});  // out-of-range source
+    FAIL() << "expected ServiceError";
+  } catch (const serve::ServiceError& e) {
+    EXPECT_EQ(e.code(), serve::ErrorCode::BadRequest);
+  }
+
+  const auto s = service.stats();
+  EXPECT_EQ(s.failed, 3u);
+  EXPECT_EQ(s.errors(serve::ErrorCode::NoSnapshot), 1u);
+  EXPECT_EQ(s.errors(serve::ErrorCode::BadRequest), 2u);
+  EXPECT_EQ(s.errors(serve::ErrorCode::Internal), 0u);
+}
+
+TEST(GraphService, DeadlineExpiredQueuedQueriesAreShed) {
+  const Graph base = gen::rmat(9, 6, 202);
+  StreamSession session(base);
+  SnapshotStore store;
+  GraphServiceOptions o = small_service(1);
+  o.enable_cache = false;
+  GraphService service(store, o);
+  service.publish_session(session);
+
+  // Park the single worker on a long traversal, then queue queries whose
+  // deadline lapses while they wait: each must be shed before execution
+  // with a typed DeadlineExceeded, never run.
+  CancelSource stop_slow;
+  Query slow = slow_query();
+  slow.cancel = stop_slow.token();
+  auto running = service.submit(slow);
+  ASSERT_TRUE(running.accepted());
+  while (service.health().in_flight == 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+  Query doomed{"BFS", 0};
+  doomed.deadline_ms = 0.01;  // lapses while the worker stays parked
+  std::vector<std::future<QueryResult>> futures;
+  for (int i = 0; i < 3; ++i) {
+    auto sub = service.submit(doomed);
+    ASSERT_TRUE(sub.accepted());
+    futures.push_back(std::move(sub.result));
+  }
+  // Let every deadline lapse before the worker frees up, then release
+  // it: each doomed query is shed at pickup, never executed.
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  stop_slow.cancel();
+  try {
+    running.result.get();
+    FAIL() << "expected Cancelled";
+  } catch (const serve::ServiceError& e) {
+    EXPECT_EQ(e.code(), serve::ErrorCode::Cancelled);
+  }
+  for (auto& f : futures) {
+    try {
+      f.get();
+      FAIL() << "expected DeadlineExceeded";
+    } catch (const serve::ServiceError& e) {
+      EXPECT_EQ(e.code(), serve::ErrorCode::DeadlineExceeded);
+    }
+  }
+  const auto s = service.stats();
+  EXPECT_EQ(s.shed_deadline, 3u);
+  EXPECT_EQ(s.errors(serve::ErrorCode::DeadlineExceeded), 3u);
+  EXPECT_EQ(s.errors(serve::ErrorCode::Cancelled), 1u);
+  // Shed queries never ran: only the slow query's lease ever existed and
+  // it came back.
+  EXPECT_EQ(service.engine_pool().outstanding(), 0u);
+}
+
+TEST(GraphService, CancellationStopsARunningTraversalPromptly) {
+  const Graph base = gen::rmat(9, 6, 203);
+  StreamSession session(base);
+  SnapshotStore store;
+  GraphServiceOptions o = small_service(1);
+  o.enable_cache = false;
+  GraphService service(store, o);
+  service.publish_session(session);
+
+  CancelSource src;
+  Query q = slow_query();  // would run for a very long time uncancelled
+  q.cancel = src.token();
+  auto sub = service.submit(q);
+  ASSERT_TRUE(sub.accepted());
+  // Let it actually start, then cancel mid-run.
+  while (service.health().in_flight == 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  src.cancel();
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_THROW(sub.result.get(), serve::ServiceError);
+  const double waited_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  // Cooperative: observed within one superstep, not after 200k of them.
+  // Generous bound so sanitizer builds pass; the uncancelled run would
+  // take minutes.
+  EXPECT_LT(waited_ms, 30000.0);
+  EXPECT_EQ(service.stats().errors(serve::ErrorCode::Cancelled), 1u);
+  // The worker survived and the engine lease came back.
+  EXPECT_EQ(service.engine_pool().outstanding(), 0u);
+  EXPECT_GT(service.query({"CC", 0}).value, 0.0);
+}
+
+TEST(GraphService, RetryWithBackoffRidesOutBackpressure) {
+  const Graph base = gen::rmat(8, 4, 204);
+  StreamSession session(base);
+  SnapshotStore store;
+  GraphServiceOptions o = small_service(1);
+  o.queue_capacity = 1;
+  o.enable_cache = false;
+  GraphService service(store, o);
+  service.publish_session(session);
+
+  // Saturate: worker + the single queue slot.
+  std::vector<std::future<QueryResult>> busy;
+  for (int i = 0; i < 2; ++i) {
+    auto sub = service.submit({"PR", 0});
+    if (sub.accepted()) busy.push_back(std::move(sub.result));
+  }
+  // Default policy (one attempt) sees Overloaded under this flood
+  // eventually; with retries the same call rides it out.
+  serve::RetryPolicy retry;
+  retry.max_attempts = 200;
+  retry.initial_backoff_ms = 0.5;
+  const QueryResult r = service.query({"BFS", 0}, retry);
+  EXPECT_GT(r.value, 0.0);
+  for (auto& f : busy) f.get();
+}
+
+TEST(GraphService, StaleServeAnswersFromPreviousEpochMarked) {
+  const Graph base = gen::rmat(9, 6, 205);
+  StreamSession session(base);
+  SnapshotStore store;
+  GraphServiceOptions o = small_service(1);
+  o.queue_capacity = 1;
+  o.serve_stale = true;
+  GraphService service(store, o);
+  service.publish_session(session);
+
+  // Warm the v1 cache, then publish v2: the v1 generation is retired,
+  // not wiped.
+  const double v1_cc = service.query({"CC", 0}).value;
+  const std::vector<EdgeUpdate> batch1 = {EdgeUpdate::insert(1, 2),
+                                          EdgeUpdate::insert(2, 3)};
+  session.apply(batch1);
+  service.publish_session(session);
+
+  // Saturate worker + queue so the next submit hits backpressure...
+  CancelSource stop_slow;
+  Query slow = slow_query();
+  slow.cancel = stop_slow.token();
+  auto running = service.submit(slow);
+  ASSERT_TRUE(running.accepted());
+  while (service.health().in_flight == 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  auto queued = service.submit(slow_query(1));
+  ASSERT_TRUE(queued.accepted());
+
+  // ...and the overloaded CC query is answered from the retired v1
+  // generation: explicit stale flag, the epoch it was computed on, and
+  // the v1 value.
+  auto sub = service.submit({"CC", 0});
+  ASSERT_TRUE(sub.accepted());
+  const QueryResult stale = sub.result.get();
+  EXPECT_TRUE(stale.stale);
+  EXPECT_EQ(stale.version, 1u);
+  EXPECT_EQ(stale.value, v1_cc);
+  EXPECT_GE(service.stats().stale_served, 1u);
+
+  // A miss in the stale generation still rejects (different key).
+  auto miss = service.submit({"BFS", 3});
+  EXPECT_EQ(miss.status, SubmitStatus::QueueFull);
+
+  stop_slow.cancel();
+  EXPECT_THROW(running.result.get(), serve::ServiceError);
+  queued.result.get();
+
+  // Once the queue drains, fresh queries run on v2 and are not stale.
+  const QueryResult fresh = service.query({"CC", 0});
+  EXPECT_FALSE(fresh.stale);
+  EXPECT_EQ(fresh.version, 2u);
+}
+
+TEST(GraphService, DefaultModeNeverServesStale) {
+  const Graph base = gen::rmat(8, 4, 206);
+  StreamSession session(base);
+  SnapshotStore store;
+  GraphServiceOptions o = small_service(1);
+  o.queue_capacity = 1;  // serve_stale stays default (off)
+  GraphService service(store, o);
+  service.publish_session(session);
+  service.query({"CC", 0});
+  const std::vector<EdgeUpdate> batch1 = {EdgeUpdate::insert(0, 1)};
+  session.apply(batch1);
+  service.publish_session(session);
+
+  CancelSource stop_slow;
+  Query slow = slow_query();
+  slow.cancel = stop_slow.token();
+  auto running = service.submit(slow);
+  ASSERT_TRUE(running.accepted());
+  while (service.health().in_flight == 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  auto queued = service.submit(slow_query(1));
+  ASSERT_TRUE(queued.accepted());
+
+  // Same overload shape as the stale-serve test — but off means off:
+  // plain QueueFull, no stale answer, flag never set.
+  auto sub = service.submit({"CC", 0});
+  EXPECT_EQ(sub.status, SubmitStatus::QueueFull);
+  EXPECT_EQ(service.stats().stale_served, 0u);
+
+  stop_slow.cancel();
+  EXPECT_THROW(running.result.get(), serve::ServiceError);
+  queued.result.get();
+}
+
+TEST(GraphService, WorkerCatchReleasesLeaseAndFailsExactlyOnce) {
+  // The satellite audit regression: a spec that throws mid-execution
+  // (injected) must release its engine lease via RAII, increment
+  // `failed` exactly once, and deliver the exception through the future.
+  const Graph base = gen::rmat(8, 4, 207);
+  StreamSession session(base);
+  SnapshotStore store;
+  GraphServiceOptions o = small_service(1);
+  o.enable_cache = false;
+  GraphService service(store, o);
+  service.publish_session(session);
+
+  auto& inj = FaultInjector::instance();
+  inj.seed(7);
+  inj.arm(FaultInjector::Hook::QueryThrow, 1.0);  // every query throws
+  try {
+    service.query({"CC", 0});
+    inj.disarm_all();
+    FAIL() << "expected injected failure";
+  } catch (const serve::ServiceError& e) {
+    inj.disarm_all();
+    EXPECT_EQ(e.code(), serve::ErrorCode::Internal);
+    EXPECT_NE(std::string(e.what()).find("injected"), std::string::npos);
+  }
+  const auto s = service.stats();
+  EXPECT_EQ(s.failed, 1u);
+  EXPECT_EQ(s.errors(serve::ErrorCode::Internal), 1u);
+  EXPECT_EQ(s.completed, 0u);
+  EXPECT_EQ(service.engine_pool().outstanding(), 0u);
+  // The worker thread survived the throw and serves again.
+  EXPECT_GT(service.query({"CC", 0}).value, 0.0);
+  EXPECT_EQ(service.stats().completed, 1u);
+}
+
+TEST(GraphService, HealthReportsQueueAndWorkers) {
+  const Graph base = gen::rmat(9, 6, 208);
+  StreamSession session(base);
+  SnapshotStore store;
+  GraphServiceOptions o = small_service(2);
+  o.enable_cache = false;
+  GraphService service(store, o);
+  service.publish_session(session);
+
+  auto idle = service.health();
+  EXPECT_TRUE(idle.accepting);
+  EXPECT_EQ(idle.queue_depth, 0u);
+  EXPECT_EQ(idle.in_flight, 0u);
+  EXPECT_EQ(idle.workers.size(), 2u);
+
+  CancelSource stop_slow;
+  Query slow = slow_query();
+  slow.cancel = stop_slow.token();
+  auto a = service.submit(slow);
+  auto b = service.submit(slow);
+  ASSERT_TRUE(a.accepted());
+  ASSERT_TRUE(b.accepted());
+  serve::ServiceHealth busy;
+  do {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    busy = service.health();
+  } while (busy.in_flight < 2);
+  EXPECT_GE(busy.oldest_running_ms, 0.0);
+  std::size_t busy_workers = 0;
+  for (const auto& w : busy.workers) busy_workers += w.busy ? 1 : 0;
+  EXPECT_EQ(busy_workers, 2u);
+
+  stop_slow.cancel();
+  EXPECT_THROW(a.result.get(), serve::ServiceError);
+  EXPECT_THROW(b.result.get(), serve::ServiceError);
+  service.stop();
+  EXPECT_FALSE(service.health().accepting);
+}
+
+TEST(GraphService, StopRacingPublishWithExpiredQueriesResolvesAll) {
+  // Shutdown edge: stop() races a publish while deadline-expired queries
+  // sit in the queue. Every accepted future must resolve — shed, failed,
+  // or completed — none dropped.
+  const Graph base = gen::rmat(9, 6, 209);
+  StreamSession session(base);
+  SnapshotStore store;
+  GraphServiceOptions o = small_service(1);
+  o.enable_cache = false;
+  GraphService service(store, o);
+  service.publish_session(session);
+
+  std::vector<std::future<QueryResult>> futures;
+  Query doomed{"BFS", 0};
+  doomed.deadline_ms = 0.01;
+  auto first = service.submit(slow_query(50));  // keeps the worker busy
+  ASSERT_TRUE(first.accepted());
+  futures.push_back(std::move(first.result));
+  for (int i = 0; i < 8; ++i) {
+    auto sub = service.submit(doomed);
+    if (sub.accepted()) futures.push_back(std::move(sub.result));
+  }
+
+  std::thread publisher([&] {
+    const std::vector<EdgeUpdate> batch1 = {EdgeUpdate::insert(0, 2)};
+    session.apply(batch1);
+    service.publish_session(session);
+  });
+  service.stop();
+  publisher.join();
+
+  std::size_t resolved = 0;
+  for (auto& f : futures) {
+    try {
+      f.get();
+      ++resolved;
+    } catch (const serve::ServiceError&) {
+      ++resolved;
+    }
+  }
+  EXPECT_EQ(resolved, futures.size());
+  // Idempotence: double-stop and destructor-after-stop are no-ops.
+  service.stop();
+  const auto s = service.stats();
+  EXPECT_EQ(s.submitted, s.completed + s.failed + s.rejected);
 }
 
 }  // namespace
