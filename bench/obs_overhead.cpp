@@ -1,0 +1,277 @@
+// Observability-overhead bench: proves the disarmed tracer costs ~nothing
+// on the two guarded op points, and dumps one example armed trace.
+//
+// Op point 1 — complete-frontier dense iteration (BENCH_dense.json's
+// headline point): the instrumented edge_fold (SpanScope + heuristic
+// capture behind one relaxed load) vs the raw fold kernel it wraps
+// (detail::edge_fold_ranges with CompleteProbe), min-of-reps. This is a
+// TRUE uninstrumented baseline: the delta is exactly the disarmed cost
+// of the instrumentation site.
+//
+// Op point 2 — the 8-client hot serving workload (BENCH_serving.json's
+// hot point): closed-loop clients over a cached query mix. A serve path
+// without the instrumentation sites does not exist in this binary, so
+// the bench bounds the disarmed cost FROM ABOVE: it compares the
+// disarmed run against a run where a dummy thread holds an open trace
+// for the whole measurement, forcing every poll site onto its slow path
+// (relaxed load + TLS lookup instead of relaxed load + predicted
+// branch). The untraced queries still record nothing; disarmed overhead
+// is strictly below what this measures.
+//
+// Both points must stay within VEBO_OBS_MAX_OVERHEAD_PCT (default 3%);
+// the bench exits 1 otherwise so CI fails loudly. Results land in
+// BENCH_obs.json; the example armed trace (one traced PageRank query
+// through the service) lands in TRACE_obs_example.json.
+//
+// Knobs: VEBO_OBS_SCALE (log2 vertices, default 18; CI smoke 14),
+// VEBO_OBS_REPS (default 7), VEBO_OBS_QUERIES (serving workload size,
+// default 2000), VEBO_OBS_MAX_OVERHEAD_PCT (default 3).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <future>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "framework/edgemap.hpp"
+#include "framework/engine.hpp"
+#include "gen/rmat.hpp"
+#include "obs/trace.hpp"
+#include "serve/graph_service.hpp"
+#include "serve/snapshot_store.hpp"
+#include "stream/session.hpp"
+#include "support/prng.hpp"
+#include "support/timer.hpp"
+
+using namespace vebo;
+using serve::GraphService;
+using serve::GraphServiceOptions;
+using serve::Query;
+using serve::SnapshotStore;
+using stream::StreamSession;
+
+namespace {
+
+double time_min_ms(int reps, const std::function<void()>& fn) {
+  double best = 0;
+  for (int r = 0; r < reps; ++r) {
+    Timer t;
+    fn();
+    const double ms = t.elapsed_ms();
+    if (r == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+// ---- op point 1: complete-frontier dense fold, instrumented vs raw.
+
+struct DensePoint {
+  double baseline_ms = 0;      ///< raw kernel, no instrumentation site
+  double instrumented_ms = 0;  ///< edge_fold (disarmed SpanScope)
+  double overhead_pct = 0;
+};
+
+DensePoint run_dense(const Graph& g, int reps) {
+  Engine eng(g, SystemModel::Ligra);
+  const VertexId n = g.num_vertices();
+  std::vector<double> contrib(n), acc(n, 0.0);
+  for (VertexId v = 0; v < n; ++v)
+    contrib[v] = 1.0 / (static_cast<double>(g.out_degree(v)) + 1.0);
+
+  auto value = [&](VertexId u, VertexId) { return contrib[u]; };
+  auto commit = [&](VertexId v, double a) { acc[v] = a; };
+
+  DensePoint p;
+  p.baseline_ms = time_min_ms(reps, [&] {
+    // The exact kernel edge_fold dispatches to, minus the span site.
+    eng.poll_cancellation();
+    detail::edge_fold_ranges<double>(eng, CompleteProbe{}, value, commit);
+  });
+  p.instrumented_ms = time_min_ms(reps, [&] {
+    edge_fold<double>(eng, value, commit);
+  });
+  p.overhead_pct =
+      p.baseline_ms > 0
+          ? (p.instrumented_ms - p.baseline_ms) / p.baseline_ms * 100.0
+          : 0;
+  return p;
+}
+
+// ---- op point 2: 8-client hot serving, disarmed vs armed-elsewhere.
+
+std::vector<Query> hot_workload(std::size_t count) {
+  static const std::vector<std::string> algos = {"BFS", "CC", "PR"};
+  std::vector<Query> w;
+  w.reserve(count);
+  Xoshiro256 rng(99);
+  for (std::size_t i = 0; i < count; ++i) {
+    Query q;
+    q.algo = algos[i % algos.size()];
+    q.source = static_cast<VertexId>(rng.next_below(8));
+    w.push_back(q);
+  }
+  return w;
+}
+
+double run_serving_qps(GraphService& service, const std::vector<Query>& w,
+                       std::size_t clients) {
+  std::vector<std::thread> threads;
+  std::atomic<std::uint64_t> issued{0};
+  Timer wall;
+  for (std::size_t c = 0; c < clients; ++c)
+    threads.emplace_back([&, c] {
+      std::uint64_t mine = 0;
+      for (std::size_t i = c; i < w.size(); i += clients) {
+        service.query(w[i]);
+        ++mine;
+      }
+      issued.fetch_add(mine);
+    });
+  for (auto& t : threads) t.join();
+  return static_cast<double>(issued.load()) / wall.elapsed();
+}
+
+struct ServingPoint {
+  std::size_t clients = 8;
+  std::size_t queries = 0;
+  double disarmed_qps = 0;
+  double armed_elsewhere_qps = 0;  ///< every poll site on its slow path
+  double overhead_pct = 0;         ///< upper bound on the disarmed cost
+};
+
+ServingPoint run_serving(StreamSession& session, std::size_t count,
+                         int reps) {
+  SnapshotStore store;
+  GraphServiceOptions opts;
+  opts.workers = 8;
+  opts.queue_capacity = 64;
+  opts.engine.model = SystemModel::Polymer;
+  GraphService service(store, opts);
+  service.publish_session(session);
+
+  const std::vector<Query> w = hot_workload(count);
+  service.query(w[0]);  // warm: engines built, cache primed
+
+  ServingPoint p;
+  p.queries = count;
+  // Interleave the two modes rep by rep (best-of each) so thermal /
+  // scheduler drift hits both equally. Each rep is cache-hit cheap
+  // (tens of ms), so take extra reps here: max-of-reps only converges
+  // with enough samples on small oversubscribed runners.
+  const int sreps = std::max(reps, 12);
+  for (int r = 0; r < sreps; ++r) {
+    const double disarmed = run_serving_qps(service, w, p.clients);
+    p.disarmed_qps = std::max(p.disarmed_qps, disarmed);
+
+    // Hold an open trace for the whole armed run: untraced workers now
+    // pay the relaxed load AND the TLS miss at every poll site. The
+    // holder parks on a future (zero wakeups) so the extra thread
+    // cannot perturb the scheduler and pollute the comparison.
+    std::promise<void> armed_done;
+    std::promise<void> armed_ready;
+    std::thread holder([&] {
+      obs::ThreadTrace tt;
+      armed_ready.set_value();
+      armed_done.get_future().wait();
+    });
+    armed_ready.get_future().wait();
+    const double armed = run_serving_qps(service, w, p.clients);
+    armed_done.set_value();
+    holder.join();
+    p.armed_elsewhere_qps = std::max(p.armed_elsewhere_qps, armed);
+  }
+  p.overhead_pct =
+      p.disarmed_qps > 0
+          ? (p.disarmed_qps - p.armed_elsewhere_qps) / p.disarmed_qps * 100.0
+          : 0;
+  return p;
+}
+
+/// One traced PageRank query through the service: the example artifact
+/// CI uploads next to BENCH_obs.json.
+std::string example_trace(StreamSession& session) {
+  SnapshotStore store;
+  GraphServiceOptions opts;
+  opts.workers = 2;
+  GraphService service(store, opts);
+  service.publish_session(session);
+  Query q;
+  q.algo = "PR";
+  q.trace = true;
+  const serve::QueryResult res = service.query(q);
+  return res.trace != nullptr ? obs::to_chrome_trace_json(*res.trace)
+                              : std::string("{\"traceEvents\":[]}");
+}
+
+}  // namespace
+
+int main() {
+  const int scale = bench::env_knob("VEBO_OBS_SCALE", 18);
+  const int reps = bench::env_knob("VEBO_OBS_REPS", 7);
+  const std::size_t queries =
+      bench::env_knob<std::size_t>("VEBO_OBS_QUERIES", 2000);
+  const double max_pct = bench::env_knob("VEBO_OBS_MAX_OVERHEAD_PCT", 3.0);
+
+  std::cout << "obs overhead: scale=" << scale << " reps=" << reps
+            << " queries=" << queries << " budget=" << max_pct << "%"
+            << std::endl;
+
+  const Graph dense_g = gen::rmat(scale, 8, /*seed=*/42);
+  std::cout << dense_g.describe("rmat") << std::endl;
+  const DensePoint dense = run_dense(dense_g, reps);
+  std::cout << "dense complete-frontier fold: baseline="
+            << dense.baseline_ms << "ms instrumented="
+            << dense.instrumented_ms << "ms overhead="
+            << dense.overhead_pct << "%" << std::endl;
+
+  // Serving graph stays modest: the hot point is cache-bound anyway.
+  const int serve_scale = std::min(scale, 14);
+  StreamSession session(gen::rmat(serve_scale, 8, /*seed=*/7));
+  const ServingPoint serving = run_serving(session, queries, reps);
+  std::cout << "serving 8-client hot: disarmed=" << serving.disarmed_qps
+            << "qps armed-elsewhere=" << serving.armed_elsewhere_qps
+            << "qps overhead(upper bound)=" << serving.overhead_pct << "%"
+            << std::endl;
+
+  StreamSession trace_session(gen::rmat(10, 6, /*seed=*/3));
+  const std::string trace_json = example_trace(trace_session);
+  {
+    std::ofstream f("TRACE_obs_example.json");
+    f << trace_json << "\n";
+  }
+  std::cout << "Wrote TRACE_obs_example.json (" << trace_json.size()
+            << " bytes)" << std::endl;
+
+  const bool dense_pass = dense.overhead_pct <= max_pct;
+  const bool serving_pass = serving.overhead_pct <= max_pct;
+
+  std::ofstream json("BENCH_obs.json");
+  json << "{\n  \"bench\": \"obs_overhead\",\n"
+       << "  \"threads\": " << ThreadPool::global_threads() << ",\n"
+       << "  \"scale\": " << scale << ",\n  \"reps\": " << reps << ",\n"
+       << "  \"max_overhead_pct\": " << max_pct << ",\n"
+       << "  \"dense_op_point\": {\"graph\": \"rmat\", \"density\": 1.0"
+       << ", \"baseline_ms\": " << dense.baseline_ms
+       << ", \"instrumented_ms\": " << dense.instrumented_ms
+       << ", \"overhead_pct\": " << dense.overhead_pct
+       << ", \"pass\": " << (dense_pass ? "true" : "false") << "},\n"
+       << "  \"serving_op_point\": {\"clients\": " << serving.clients
+       << ", \"queries\": " << serving.queries
+       << ", \"disarmed_qps\": " << serving.disarmed_qps
+       << ", \"armed_elsewhere_qps\": " << serving.armed_elsewhere_qps
+       << ", \"overhead_pct\": " << serving.overhead_pct
+       << ", \"pass\": " << (serving_pass ? "true" : "false") << "},\n"
+       << "  \"pass\": "
+       << (dense_pass && serving_pass ? "true" : "false") << "\n}\n";
+  json.close();
+  std::cout << "Wrote BENCH_obs.json (dense "
+            << (dense_pass ? "PASS" : "FAIL") << ", serving "
+            << (serving_pass ? "PASS" : "FAIL") << ")" << std::endl;
+  return dense_pass && serving_pass ? 0 : 1;
+}

@@ -57,6 +57,11 @@ BcResult betweenness(const Engine& eng, VertexId source) {
   ForwardFunctor f{sigma.data(), &visited};
   int depth = 0;
   while (!frontier.empty_set()) {
+    obs::SpanScope iter(obs::SpanKind::Iteration);
+    if (iter.live()) {
+      iter.span().a = static_cast<std::uint64_t>(depth);
+      iter.span().b = frontier.size();
+    }
     // Note: cond() must stay true for v during the whole round so that
     // every same-level predecessor contributes to sigma[v]; visited is
     // only updated after the edgemap (Ligra's BC does the same).

@@ -50,6 +50,11 @@ BellmanFordResult bellman_ford(const Engine& eng, VertexId source) {
   // negative cycles; the frontier empties much earlier in practice).
   while (!frontier.empty_set() &&
          res.rounds < static_cast<int>(n)) {
+    obs::SpanScope iter(obs::SpanKind::Iteration);
+    if (iter.live()) {
+      iter.span().a = static_cast<std::uint64_t>(res.rounds);
+      iter.span().b = frontier.size();
+    }
     frontier = edge_map(eng, frontier, f, {.flags = kNoFlags});
     ++res.rounds;
   }

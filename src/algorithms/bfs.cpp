@@ -52,6 +52,11 @@ BfsResult bfs(const Engine& eng, VertexId source) {
   BfsFunctor f{parent.data()};
   int round = 0;
   while (!frontier.empty_set()) {
+    obs::SpanScope iter(obs::SpanKind::Iteration);
+    if (iter.live()) {
+      iter.span().a = static_cast<std::uint64_t>(round);
+      iter.span().b = frontier.size();
+    }
     // Cached on the subset; edgemap's direction heuristic reuses it.
     res.active_edges_per_round.push_back(
         frontier.out_edges(g, eng.vertex_loop()));

@@ -27,6 +27,11 @@ BpResult belief_propagation(const Engine& eng, const BpOptions& opts) {
     // Superstep boundary (covers the COO path, which bypasses the
     // framework's polled entry points).
     eng.poll_cancellation();
+    obs::SpanScope iter(obs::SpanKind::Iteration);
+    if (iter.live()) {
+      iter.span().a = static_cast<std::uint64_t>(it);
+      iter.span().b = n;  // synchronous BP: every vertex updates
+    }
     // Message from u is a saturating function of u's current belief.
     parallel_for(
         0, n,

@@ -35,6 +35,11 @@ CcResult connected_components(const Engine& eng) {
   while (!frontier.empty_set()) {
     // Superstep boundary: CC's rounds bypass edge_map, so poll here.
     eng.poll_cancellation();
+    obs::SpanScope iter(obs::SpanKind::Iteration);
+    if (iter.live()) {
+      iter.span().a = static_cast<std::uint64_t>(rounds);
+      iter.span().b = frontier.size();
+    }
     AtomicBitset changed(n);
     // Density heuristic mirrors edgemap: sparse push vs dense pull. CC
     // propagates over both directions, so both cached degree sums count.

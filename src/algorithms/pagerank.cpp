@@ -21,6 +21,11 @@ PageRankResult pagerank(const Engine& eng, const PageRankOptions& opts) {
     // Superstep boundary (covers the COO path, which bypasses the
     // framework's polled entry points).
     eng.poll_cancellation();
+    obs::SpanScope iter(obs::SpanKind::Iteration);
+    if (iter.live()) {
+      iter.span().a = static_cast<std::uint64_t>(it);
+      iter.span().b = n;  // power iteration: every vertex is active
+    }
     // contrib[u] = rank[u] / outdeg[u]; dangling vertices contribute 0
     // (Ligra's convention).
     parallel_for(

@@ -26,6 +26,11 @@ PageRankDeltaResult pagerank_delta(const Engine& eng,
   PageRankDeltaResult res;
 
   for (int it = 0; it < opts.max_iterations && !frontier.empty_set(); ++it) {
+    obs::SpanScope iter(obs::SpanKind::Iteration);
+    if (iter.live()) {
+      iter.span().a = static_cast<std::uint64_t>(it);
+      iter.span().b = frontier.size();
+    }
     res.active_per_iteration.push_back(frontier.size());
 
     // contrib[u] = delta[u]/outdeg(u) for active u.

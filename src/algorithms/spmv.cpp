@@ -20,6 +20,14 @@ SpmvResult spmv(const Engine& eng, const std::vector<double>& x) {
   SpmvResult res;
   res.y.assign(n, 0.0);
 
+  // SpMV is a single superstep; the span makes it show up in traces
+  // like every other algorithm's iterations do.
+  obs::SpanScope iter(obs::SpanKind::Iteration);
+  if (iter.live()) {
+    iter.span().a = 0;
+    iter.span().b = n;
+  }
+
   if (eng.partitioned()) {
     // COO path over destination partitions (disjoint writes).
     const PartitionedCoo& coo = eng.partitioned_coo();

@@ -63,10 +63,24 @@
 
 #include "framework/engine.hpp"
 #include "framework/vertex_subset.hpp"
+#include "obs/trace.hpp"
 #include "parallel/scan_pack.hpp"
 #include "support/bitset.hpp"
 
 namespace vebo {
+
+namespace detail {
+
+/// How many disjoint destination ranges the dense scheduler will run —
+/// the tracer's "chunks" arg (partition count on partitioned engines,
+/// CSC edge-balanced chunk count otherwise).
+inline std::uint64_t dense_range_count(const Engine& eng) {
+  return eng.partitioned()
+             ? static_cast<std::uint64_t>(eng.partitioning().num_partitions())
+             : static_cast<std::uint64_t>(eng.dense_chunks().size() - 1);
+}
+
+}  // namespace detail
 
 enum class Direction { Auto, Push, Pull };
 
@@ -219,6 +233,10 @@ VertexSubset edge_map(const Engine& eng, VertexSubset& frontier, F f,
   const ForOptions vloop = eng.vertex_loop();
   if (frontier.empty_set()) return VertexSubset::empty(n);
 
+  // Step span: one relaxed load when no trace is armed. Sits at call
+  // granularity — the dense kernels below are never polled.
+  obs::SpanScope step(obs::SpanKind::EdgeMap);
+
   // Per-source out-degree offsets for the push path. Filled at most once;
   // when the frontier is already sparse the Auto heuristic fills it and
   // its scan total doubles as the out-degree sum (one degree walk, not
@@ -254,6 +272,38 @@ VertexSubset edge_map(const Engine& eng, VertexSubset& frontier, F f,
              eng.dense_threshold();
       break;
     default: pull = false; break;
+  }
+
+  if (step.live()) {
+    // Record the heuristic's inputs exactly as it saw them: the out-edge
+    // sum only when it was actually computed (offset scan, cached value,
+    // or the complete-frontier shortcut's |E|) — tracing never forces
+    // the degree walk the step itself skipped.
+    obs::Span& s = step.span();
+    s.a = frontier.size();
+    s.b = have_offsets                ? total
+          : frontier.is_complete()    ? g.num_edges()
+          : frontier.has_out_edges()  ? frontier.out_edges(g, vloop)
+                                      : obs::kUnknownArg;
+    s.c = eng.dense_threshold();
+    s.direction = pull ? 2 : 1;
+    s.flags = static_cast<std::uint8_t>((opts.early_exit() ? 1 : 0) |
+                                        (opts.no_output() ? 2 : 0));
+    if (pull) {
+      s.rep = frontier.is_complete() ? 3 : 2;
+      s.variant = frontier.is_complete() ? obs::KernelVariant::Complete
+                                         : obs::KernelVariant::Probe;
+      s.d = detail::dense_range_count(eng);
+      step.predict(static_cast<double>(g.num_edges()),
+                   static_cast<double>(n),
+                   static_cast<double>(frontier.size()));
+    } else {
+      s.rep = 1;
+      s.d = 0;
+      if (s.b != obs::kUnknownArg)
+        step.predict(static_cast<double>(s.b), 0,
+                     static_cast<double>(frontier.size()));
+    }
   }
 
   if (pull) {
@@ -375,8 +425,23 @@ struct EdgeApplyFunctor {
 template <typename EdgeFn>
 void edge_apply(const Engine& eng, EdgeFn&& fn) {
   eng.poll_cancellation();  // superstep boundary (see edge_map)
-  detail::EdgeApplyFunctor<EdgeFn> f{fn};
   const Graph& g = eng.graph();
+  obs::SpanScope step(obs::SpanKind::EdgeApply);
+  if (step.live()) {
+    obs::Span& s = step.span();
+    s.a = g.num_vertices();
+    s.b = g.num_edges();
+    s.c = eng.dense_threshold();
+    s.d = detail::dense_range_count(eng);
+    s.direction = 2;
+    s.rep = 3;
+    s.variant = obs::KernelVariant::Complete;
+    s.flags = 2;  // no output frontier by construction
+    step.predict(static_cast<double>(g.num_edges()),
+                 static_cast<double>(g.num_vertices()),
+                 static_cast<double>(g.num_vertices()));
+  }
+  detail::EdgeApplyFunctor<EdgeFn> f{fn};
   const CompleteProbe probe;
   for_dense_ranges(eng, [&](VertexId lo, VertexId hi) {
     NullSink sink;
@@ -392,12 +457,30 @@ void edge_apply(const Engine& eng, VertexSubset& frontier, EdgeFn&& fn) {
   eng.poll_cancellation();  // superstep boundary (see edge_map)
   if (frontier.empty_set()) return;
   if (frontier.is_complete()) {
+    // The probe-free overload records its own (Complete-variant) span.
     edge_apply(eng, std::forward<EdgeFn>(fn));
     return;
   }
+  const Graph& g = eng.graph();
+  obs::SpanScope step(obs::SpanKind::EdgeApply);
+  if (step.live()) {
+    obs::Span& s = step.span();
+    s.a = frontier.size();
+    s.b = frontier.has_out_edges()
+              ? frontier.out_edges(g, eng.vertex_loop())
+              : obs::kUnknownArg;
+    s.c = eng.dense_threshold();
+    s.d = detail::dense_range_count(eng);
+    s.direction = 2;
+    s.rep = 2;
+    s.variant = obs::KernelVariant::Probe;
+    s.flags = 2;
+    step.predict(static_cast<double>(g.num_edges()),
+                 static_cast<double>(g.num_vertices()),
+                 static_cast<double>(frontier.size()));
+  }
   frontier.to_dense(eng.vertex_loop());
   detail::EdgeApplyFunctor<EdgeFn> f{fn};
-  const Graph& g = eng.graph();
   const BitsetProbe probe{frontier.bits()};
   for_dense_ranges(eng, [&](VertexId lo, VertexId hi) {
     NullSink sink;
@@ -440,9 +523,37 @@ void edge_fold_ranges(const Engine& eng, const Probe& probe, Value& value,
 /// edge). PageRank / SpMV / BP-style dense iterations run on this form;
 /// accumulation order is the ascending in-neighbor order, independent of
 /// thread count, chunking and system model.
+namespace detail {
+
+/// Fills an EdgeFold span's args; shared by both overloads. `fsize` is
+/// the contributing-source count (n for the probe-free kernel).
+inline void fill_fold_span(obs::SpanScope& step, const Engine& eng,
+                           std::uint64_t fsize, std::uint64_t fedges,
+                           bool complete) {
+  if (!step.live()) return;
+  const Graph& g = eng.graph();
+  obs::Span& s = step.span();
+  s.a = fsize;
+  s.b = fedges;
+  s.c = eng.dense_threshold();
+  s.d = dense_range_count(eng);
+  s.direction = 2;
+  s.rep = complete ? 3 : 2;
+  s.variant = obs::KernelVariant::Fold;
+  s.flags = 2;  // fold commits per destination; no output frontier
+  step.predict(static_cast<double>(g.num_edges()),
+               static_cast<double>(g.num_vertices()),
+               static_cast<double>(fsize));
+}
+
+}  // namespace detail
+
 template <typename T, typename Value, typename Commit>
 void edge_fold(const Engine& eng, Value&& value, Commit&& commit) {
   eng.poll_cancellation();  // superstep boundary (see edge_map)
+  obs::SpanScope step(obs::SpanKind::EdgeFold);
+  detail::fill_fold_span(step, eng, eng.graph().num_vertices(),
+                         eng.graph().num_edges(), /*complete=*/true);
   detail::edge_fold_ranges<T>(eng, CompleteProbe{}, value, commit);
 }
 
@@ -453,10 +564,19 @@ template <typename T, typename Value, typename Commit>
 void edge_fold(const Engine& eng, VertexSubset& frontier, Value&& value,
                Commit&& commit) {
   eng.poll_cancellation();  // superstep boundary (see edge_map)
+  obs::SpanScope step(obs::SpanKind::EdgeFold);
   if (frontier.is_complete()) {
+    detail::fill_fold_span(step, eng, eng.graph().num_vertices(),
+                           eng.graph().num_edges(), /*complete=*/true);
     detail::edge_fold_ranges<T>(eng, CompleteProbe{}, value, commit);
     return;
   }
+  detail::fill_fold_span(
+      step, eng, frontier.size(),
+      frontier.has_out_edges()
+          ? frontier.out_edges(eng.graph(), eng.vertex_loop())
+          : obs::kUnknownArg,
+      /*complete=*/false);
   frontier.to_dense(eng.vertex_loop());
   detail::edge_fold_ranges<T>(eng, BitsetProbe{frontier.bits()}, value,
                               commit);

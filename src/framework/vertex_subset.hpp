@@ -93,6 +93,10 @@ class VertexSubset {
   /// Seeds the out-edge cache when the producer already knows the sum
   /// (e.g. edgemap's sparse path computes it as its offset-scan total).
   void set_out_edges(EdgeId sum) const { out_edges_ = sum; }
+  /// True when out_edges() would return a cached value without a degree
+  /// walk. Lets observers (the tracer) read the heuristic's input when it
+  /// was actually computed without ever forcing the computation.
+  bool has_out_edges() const { return out_edges_ != kInvalidEdgeCount; }
 
   /// Applies fn(v) for each member. Ascending id order unless the subset
   /// only holds an unsorted packed list (no dense rep to walk instead).

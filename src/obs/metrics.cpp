@@ -1,0 +1,196 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace vebo::obs {
+
+const char* to_string(MetricType t) {
+  switch (t) {
+    case MetricType::Counter: return "counter";
+    case MetricType::Gauge: return "gauge";
+    case MetricType::Summary: return "summary";
+  }
+  return "?";
+}
+
+void MetricsRegistry::Registration::release() {
+  if (!registry_) return;
+  MetricsRegistry* r = registry_;
+  registry_ = nullptr;
+  std::lock_guard<std::mutex> lock(r->mutex_);
+  auto& cs = r->collectors_;
+  cs.erase(std::remove_if(cs.begin(), cs.end(),
+                          [&](const auto& p) { return p.first == id_; }),
+           cs.end());
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Owned& o = owned_[name];
+  if (!o.counter) {
+    o.help = help;
+    o.type = MetricType::Counter;
+    o.counter = std::make_unique<Counter>();
+  }
+  return *o.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name,
+                              const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Owned& o = owned_[name];
+  if (!o.gauge) {
+    o.help = help;
+    o.type = MetricType::Gauge;
+    o.gauge = std::make_unique<Gauge>();
+  }
+  return *o.gauge;
+}
+
+MetricsRegistry::Registration MetricsRegistry::add_collector(Collector fn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t id = next_collector_id_++;
+  collectors_.emplace_back(id, std::move(fn));
+  return Registration(this, id);
+}
+
+std::vector<MetricSample> MetricsRegistry::collect() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<MetricSample> out;
+  for (const auto& [name, o] : owned_) {
+    MetricSample s;
+    s.name = name;
+    s.help = o.help;
+    s.type = o.type;
+    s.value = o.counter ? static_cast<double>(o.counter->value())
+                        : o.gauge->value();
+    out.push_back(std::move(s));
+  }
+  for (const auto& [id, fn] : collectors_) fn(out);
+  return out;
+}
+
+namespace {
+
+/// Prometheus label values escape backslash, double-quote and newline.
+std::string escape_label(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '"') out += "\\\"";
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
+  return out;
+}
+
+/// JSON string escape (control chars, quote, backslash).
+std::string escape_json(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void format_value(std::ostringstream& os, double v) {
+  if (std::isnan(v)) {
+    os << "NaN";
+  } else if (std::isinf(v)) {
+    os << (v > 0 ? "+Inf" : "-Inf");
+  } else if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    os << static_cast<long long>(v);
+  } else {
+    os << v;
+  }
+}
+
+}  // namespace
+
+std::string MetricsRegistry::prometheus_text() const {
+  const std::vector<MetricSample> samples = collect();
+  std::ostringstream os;
+  // One HELP/TYPE header per metric name, emitted before its first
+  // sample. Samples of one name arrive contiguously from well-behaved
+  // collectors; a repeated name after a gap just repeats the header,
+  // which scrapers tolerate.
+  std::string last_name;
+  for (const MetricSample& s : samples) {
+    if (s.name != last_name) {
+      if (!s.help.empty())
+        os << "# HELP " << s.name << " " << s.help << "\n";
+      os << "# TYPE " << s.name << " " << to_string(s.type) << "\n";
+      last_name = s.name;
+    }
+    os << s.name;
+    if (!s.labels.empty()) {
+      os << "{";
+      bool first = true;
+      for (const auto& [k, v] : s.labels) {
+        if (!first) os << ",";
+        first = false;
+        os << k << "=\"" << escape_label(v) << "\"";
+      }
+      os << "}";
+    }
+    os << " ";
+    format_value(os, s.value);
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string MetricsRegistry::json_dump() const {
+  const std::vector<MetricSample> samples = collect();
+  std::ostringstream os;
+  os << "{\"metrics\":[";
+  bool first_sample = true;
+  for (const MetricSample& s : samples) {
+    if (!first_sample) os << ",";
+    first_sample = false;
+    os << "{\"name\":\"" << escape_json(s.name) << "\",\"type\":\""
+       << to_string(s.type) << "\"";
+    if (!s.labels.empty()) {
+      os << ",\"labels\":{";
+      bool first = true;
+      for (const auto& [k, v] : s.labels) {
+        if (!first) os << ",";
+        first = false;
+        os << "\"" << escape_json(k) << "\":\"" << escape_json(v) << "\"";
+      }
+      os << "}";
+    }
+    os << ",\"value\":";
+    double v = s.value;
+    if (std::isnan(v) || std::isinf(v)) {
+      os << "\"" << (std::isnan(v) ? "NaN" : (v > 0 ? "+Inf" : "-Inf"))
+         << "\"";
+    } else {
+      format_value(os, v);
+    }
+    os << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace vebo::obs

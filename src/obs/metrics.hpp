@@ -1,0 +1,156 @@
+// MetricsRegistry: the unified metrics plane.
+//
+// Before this module every subsystem kept its own stats struct behind
+// its own getter — GraphServiceStats, ResultCache's hit/miss/eviction
+// counters, EnginePoolStats, SnapshotStoreStats, the VeboMaintainer's
+// drift/rebalance counters — and nothing could scrape them uniformly.
+// The registry puts them all behind one registration API with two
+// exposition formats:
+//  * prometheus_text(): the Prometheus text format (# HELP / # TYPE
+//    comments, name{label="v"} value lines) — scrapeable as-is;
+//  * json_dump(): the same samples as a JSON array, for tooling without
+//    a Prometheus parser.
+//
+// Two registration styles:
+//  * Owned instruments — counter(name) / gauge(name) hand out atomic
+//    Counter/Gauge objects the registry owns; updates are lock-free and
+//    the registry reads them at collection time. For new metrics.
+//  * Collectors — add_collector(fn) registers a callback that emits
+//    MetricSamples at collection time. This is how the existing stats
+//    structs are absorbed WITHOUT restructuring their locking: a
+//    component registers one collector that snapshots its stats (under
+//    its own locks, exactly as its stats() getter does) and emits each
+//    field as a sample. The returned Registration deregisters on
+//    destruction, so a dying component can never leave a dangling
+//    callback behind (the registry itself must outlive registrants).
+//
+// Thread-safety: instrument updates are atomic; registration,
+// deregistration and collection serialize on one mutex. Collection
+// calls collectors under that mutex — collectors must not call back
+// into the same registry.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vebo::obs {
+
+enum class MetricType : std::uint8_t { Counter, Gauge, Summary };
+const char* to_string(MetricType t);
+
+/// One exposition sample: a name, optional labels, one value. Summary
+/// quantiles are samples of the same name with a "quantile" label (plus
+/// `<name>_sum` / `<name>_count` gauges, Prometheus-style).
+struct MetricSample {
+  std::string name;
+  std::string help;
+  MetricType type = MetricType::Gauge;
+  std::vector<std::pair<std::string, std::string>> labels;
+  double value = 0;
+};
+
+/// Monotonic counter (lock-free updates).
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Point-in-time value (lock-free updates).
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void add(double d) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + d,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0};
+};
+
+class MetricsRegistry {
+ public:
+  using Collector = std::function<void(std::vector<MetricSample>&)>;
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// RAII deregistration handle for add_collector. Move-only; releasing
+  /// (or destroying) removes the callback. The registry must outlive
+  /// every handle.
+  class Registration {
+   public:
+    Registration() = default;
+    Registration(Registration&& o) noexcept { *this = std::move(o); }
+    Registration& operator=(Registration&& o) noexcept {
+      release();
+      registry_ = o.registry_;
+      id_ = o.id_;
+      o.registry_ = nullptr;
+      return *this;
+    }
+    ~Registration() { release(); }
+    Registration(const Registration&) = delete;
+    Registration& operator=(const Registration&) = delete;
+
+    void release();
+    bool active() const { return registry_ != nullptr; }
+
+   private:
+    friend class MetricsRegistry;
+    Registration(MetricsRegistry* r, std::uint64_t id)
+        : registry_(r), id_(id) {}
+
+    MetricsRegistry* registry_ = nullptr;
+    std::uint64_t id_ = 0;
+  };
+
+  /// Owned instruments, created on first use (idempotent by name; the
+  /// help text of the first call sticks). References stay valid for the
+  /// registry's lifetime.
+  Counter& counter(const std::string& name, const std::string& help = "");
+  Gauge& gauge(const std::string& name, const std::string& help = "");
+
+  /// Registers a scrape-time callback emitting samples.
+  [[nodiscard]] Registration add_collector(Collector fn);
+
+  /// Snapshot of every sample: owned instruments plus all collectors.
+  std::vector<MetricSample> collect() const;
+
+  /// Prometheus text exposition format.
+  std::string prometheus_text() const;
+
+  /// The same samples as a JSON array:
+  /// {"metrics":[{"name":...,"type":...,"labels":{...},"value":...}]}.
+  std::string json_dump() const;
+
+ private:
+  struct Owned {
+    std::string help;
+    MetricType type;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Owned> owned_;  ///< ordered => stable exposition
+  std::vector<std::pair<std::uint64_t, Collector>> collectors_;
+  std::uint64_t next_collector_id_ = 1;
+};
+
+}  // namespace vebo::obs

@@ -1,0 +1,276 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace vebo::obs {
+
+namespace {
+
+/// The calling thread's ring. Single writer, single reader (the same
+/// thread), so no synchronization is needed anywhere on the record path.
+struct ThreadRing {
+  std::uint64_t id = 0;  ///< 0 = not tracing
+  std::uint64_t begin_ns = 0;
+  std::uint64_t recorded = 0;
+  std::vector<Span> spans;  ///< capacity fixed for the trace lifetime
+};
+
+thread_local ThreadRing t_ring;
+
+std::atomic<std::uint64_t> g_next_trace_id{1};
+
+/// Cost-model coefficients; armed flag released after the stores so a
+/// predict() that observes armed sees the coefficients.
+std::atomic<double> g_cost_per_edge{0}, g_cost_per_dest{0},
+    g_cost_per_source{0}, g_cost_fixed{0};
+std::atomic<bool> g_cost_armed{false};
+
+}  // namespace
+
+const char* to_string(SpanKind k) {
+  switch (k) {
+    case SpanKind::EdgeMap: return "edge_map";
+    case SpanKind::EdgeApply: return "edge_apply";
+    case SpanKind::EdgeFold: return "edge_fold";
+    case SpanKind::Iteration: return "iteration";
+    case SpanKind::QueueWait: return "queue_wait";
+    case SpanKind::EngineLease: return "engine_lease";
+    case SpanKind::CacheProbe: return "cache_probe";
+    case SpanKind::Execute: return "execute";
+    case SpanKind::Translate: return "translate";
+    case SpanKind::ApplyBatch: return "apply_batch";
+    case SpanKind::Snapshot: return "snapshot";
+    case SpanKind::Compact: return "compact";
+    case SpanKind::VeboRefine: return "vebo_refine";
+    case SpanKind::Publish: return "publish";
+  }
+  return "?";
+}
+
+const char* to_string(KernelVariant v) {
+  switch (v) {
+    case KernelVariant::None: return "none";
+    case KernelVariant::Probe: return "probe";
+    case KernelVariant::Complete: return "complete";
+    case KernelVariant::Fold: return "fold";
+  }
+  return "?";
+}
+
+namespace detail {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+bool thread_tracing_slow() { return t_ring.id != 0; }
+
+void record(const Span& s) {
+  ThreadRing& r = t_ring;
+  if (r.id == 0 || r.spans.empty()) return;
+  r.spans[r.recorded % r.spans.size()] = s;
+  ++r.recorded;
+}
+
+bool predict(double edges, double dests, double sources, double& out_ns) {
+  if (!g_cost_armed.load(std::memory_order_acquire)) return false;
+  out_ns = g_cost_per_edge.load(std::memory_order_relaxed) * edges +
+           g_cost_per_dest.load(std::memory_order_relaxed) * dests +
+           g_cost_per_source.load(std::memory_order_relaxed) * sources +
+           g_cost_fixed.load(std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace detail
+
+std::uint64_t Tracer::begin(std::size_t capacity) {
+  ThreadRing& r = t_ring;
+  VEBO_CHECK(r.id == 0, "Tracer::begin: this thread is already tracing");
+  VEBO_CHECK(capacity >= 1, "Tracer::begin: capacity must be >= 1");
+  r.id = g_next_trace_id.fetch_add(1, std::memory_order_relaxed);
+  r.begin_ns = detail::now_ns();
+  r.recorded = 0;
+  r.spans.assign(capacity, Span{});
+  detail::g_active_traces.fetch_add(1, std::memory_order_relaxed);
+  return r.id;
+}
+
+Trace Tracer::end() {
+  ThreadRing& r = t_ring;
+  VEBO_CHECK(r.id != 0, "Tracer::end: this thread is not tracing");
+  // Disarm first so the collection below records nothing into itself.
+  detail::g_active_traces.fetch_sub(1, std::memory_order_relaxed);
+  Trace t;
+  t.id = r.id;
+  t.begin_ns = r.begin_ns;
+  t.end_ns = detail::now_ns();
+  t.recorded = r.recorded;
+  const std::size_t cap = r.spans.size();
+  const std::size_t kept = static_cast<std::size_t>(
+      std::min<std::uint64_t>(r.recorded, cap));
+  t.dropped = r.recorded - kept;
+  t.spans.reserve(kept);
+  // Ring order is completion order. Unwrapped rings hold the survivors
+  // in [0, kept); a wrapped ring's oldest survivor sits at the next
+  // write position (recorded % cap). Rotate the wrap point out, then
+  // sort by start so nested steps read naturally in the export.
+  const std::size_t head = r.recorded > cap ? r.recorded % cap : 0;
+  for (std::size_t i = 0; i < kept; ++i)
+    t.spans.push_back(r.spans[(head + i) % cap]);
+  std::stable_sort(t.spans.begin(), t.spans.end(),
+                   [](const Span& x, const Span& y) {
+                     return x.start_ns < y.start_ns;
+                   });
+  r.id = 0;
+  r.spans = {};  // release the ring memory
+  return t;
+}
+
+void Tracer::set_cost_model(const CostCoefficients& c) {
+  g_cost_per_edge.store(c.per_edge, std::memory_order_relaxed);
+  g_cost_per_dest.store(c.per_dest, std::memory_order_relaxed);
+  g_cost_per_source.store(c.per_source, std::memory_order_relaxed);
+  g_cost_fixed.store(c.fixed, std::memory_order_relaxed);
+  g_cost_armed.store(true, std::memory_order_release);
+}
+
+void Tracer::clear_cost_model() {
+  g_cost_armed.store(false, std::memory_order_release);
+}
+
+void SpanScope::init(SpanKind kind) {
+  if (!detail::thread_tracing_slow()) return;
+  live_ = true;
+  span_.kind = kind;
+  span_.start_ns = detail::now_ns();
+}
+
+void SpanScope::finish() {
+  span_.dur_ns = detail::now_ns() - span_.start_ns;
+  detail::record(span_);
+}
+
+// ------------------------------------------------ Chrome trace export
+
+namespace {
+
+const char* category(SpanKind k) {
+  switch (k) {
+    case SpanKind::EdgeMap:
+    case SpanKind::EdgeApply:
+    case SpanKind::EdgeFold:
+    case SpanKind::Iteration: return "framework";
+    case SpanKind::QueueWait:
+    case SpanKind::EngineLease:
+    case SpanKind::CacheProbe:
+    case SpanKind::Execute:
+    case SpanKind::Translate: return "serve";
+    default: return "stream";
+  }
+}
+
+void json_kv(std::ostringstream& os, bool& first, const char* key) {
+  if (!first) os << ",";
+  first = false;
+  os << "\"" << key << "\":";
+}
+
+void arg_u64(std::ostringstream& os, bool& first, const char* key,
+             std::uint64_t v) {
+  json_kv(os, first, key);
+  os << v;
+}
+
+void arg_str(std::ostringstream& os, bool& first, const char* key,
+             const char* v) {
+  json_kv(os, first, key);
+  os << "\"" << v << "\"";
+}
+
+}  // namespace
+
+std::string to_chrome_trace_json(const Trace& t) {
+  std::ostringstream os;
+  os.precision(3);
+  os << std::fixed;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,"
+     << "\"args\":{\"name\":\"trace " << t.id << "\"}}";
+  for (const Span& s : t.spans) {
+    // Queue-wait spans can start before the trace begin stamp (the wait
+    // began at submit); clamp so timestamps stay non-negative.
+    const std::uint64_t start =
+        s.start_ns >= t.begin_ns ? s.start_ns - t.begin_ns : 0;
+    os << ",{\"name\":\"" << to_string(s.kind) << "\",\"cat\":\""
+       << category(s.kind) << "\",\"ph\":\"X\",\"pid\":1,\"tid\":1,"
+       << "\"ts\":" << static_cast<double>(start) / 1e3
+       << ",\"dur\":" << static_cast<double>(s.dur_ns) / 1e3 << ",\"args\":{";
+    bool first = true;
+    switch (s.kind) {
+      case SpanKind::EdgeMap:
+      case SpanKind::EdgeApply:
+      case SpanKind::EdgeFold:
+        arg_str(os, first, "direction",
+                s.direction == 2 ? "pull" : (s.direction == 1 ? "push" : "?"));
+        arg_str(os, first, "kernel", to_string(s.variant));
+        arg_str(os, first, "frontier_rep",
+                s.rep == 3 ? "complete"
+                           : (s.rep == 2 ? "dense"
+                                         : (s.rep == 1 ? "sparse" : "n/a")));
+        arg_u64(os, first, "frontier", s.a);
+        if (s.b != kUnknownArg) arg_u64(os, first, "out_edges", s.b);
+        arg_u64(os, first, "dense_threshold", s.c);
+        arg_u64(os, first, "chunks", s.d);
+        if (s.flags & 1) arg_u64(os, first, "early_exit", 1);
+        if (s.flags & 2) arg_u64(os, first, "no_output", 1);
+        break;
+      case SpanKind::Iteration:
+        arg_u64(os, first, "iteration", s.a);
+        arg_u64(os, first, "frontier", s.b);
+        break;
+      case SpanKind::QueueWait: break;
+      case SpanKind::EngineLease:
+      case SpanKind::Execute:
+      case SpanKind::Snapshot:
+      case SpanKind::Publish:
+        arg_u64(os, first, "version", s.a);
+        break;
+      case SpanKind::CacheProbe:
+        arg_str(os, first, "result", s.a != 0 ? "hit" : "miss");
+        break;
+      case SpanKind::Translate:
+        arg_u64(os, first, "payload_vertices", s.a);
+        break;
+      case SpanKind::ApplyBatch:
+        arg_u64(os, first, "inserted", s.a);
+        arg_u64(os, first, "removed", s.b);
+        arg_u64(os, first, "grew_vertices", s.c);
+        break;
+      case SpanKind::Compact: break;
+      case SpanKind::VeboRefine:
+        arg_str(os, first, "action",
+                s.a == 2 ? "full" : (s.a == 1 ? "incremental" : "none"));
+        arg_u64(os, first, "dirty", s.b);
+        break;
+    }
+    if (s.predicted_ns >= 0) {
+      json_kv(os, first, "predicted_us");
+      os << s.predicted_ns / 1e3;
+      json_kv(os, first, "measured_us");
+      os << static_cast<double>(s.dur_ns) / 1e3;
+    }
+    os << "}}";
+  }
+  os << "],\"otherData\":{\"trace_id\":\"" << t.id << "\",\"recorded\":\""
+     << t.recorded << "\",\"dropped\":\"" << t.dropped << "\"}}";
+  return os.str();
+}
+
+}  // namespace vebo::obs

@@ -1,0 +1,255 @@
+// Per-query execution tracing: where did this query's time go?
+//
+// The paper's whole argument is about *where time goes* — direction
+// choice, per-partition balance, frontier shape — yet a served query
+// used to report only its end-to-end latency. The tracer records one
+// Span per interesting step:
+//  * framework steps — each edge_map / edge_apply / edge_fold call, with
+//    the direction chosen, the heuristic's inputs (frontier size,
+//    out-edge sum, dense threshold), the frontier representation, the
+//    kernel variant instantiated (probing / complete / no-output /
+//    fold), and the dense chunk count;
+//  * algorithm iteration tops (one Span per hand-rolled superstep);
+//  * serve-path stages (queue wait, engine lease, cache probe, execute,
+//    payload translation) and stream-path stages (apply_batch,
+//    snapshot, compact, vebo_refine, publish).
+// Each Span carries its measured duration and, when a cost model is
+// installed (metrics/cost_model coefficients via set_cost_model), the
+// model's predicted time — the predicted-vs-actual dataset the ROADMAP's
+// cost-model-driven traversal selection needs.
+//
+// Design (the support/fault.hpp arming pattern):
+//  * Disarmed cost ~ nothing: every instrumentation site starts with one
+//    RELAXED ATOMIC LOAD of a global active-trace counter and branches
+//    away. No TLS access, no clock read, no allocation. The poll sites
+//    sit at step granularity (an edge_map call, an iteration top), never
+//    inside the dense kernels.
+//  * Arming is per thread: Tracer::begin() starts a trace on the calling
+//    thread; only spans recorded BY THAT THREAD land in it. Framework
+//    and serve-path spans are recorded on the thread driving the query
+//    (parallel regions fan out below span granularity), so a traced
+//    query's spans are complete even while other threads run untraced —
+//    and concurrent traced queries on different workers never mix.
+//  * Recording is lock-free: each thread appends to its own fixed-size
+//    ring buffer (single writer, no atomics, no locks). When the ring
+//    wraps, the oldest spans are overwritten and counted as dropped.
+//  * Collection (Tracer::end()) runs on the recording thread, so no
+//    cross-thread ring reads exist anywhere.
+//
+// Export: to_chrome_trace_json() renders a Trace in the Chrome
+// trace-event format ("traceEvents" of "ph":"X" slices) — load the file
+// in Perfetto or chrome://tracing.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vebo::obs {
+
+enum class SpanKind : std::uint8_t {
+  // framework
+  EdgeMap = 0,
+  EdgeApply,
+  EdgeFold,
+  Iteration,
+  // serve path
+  QueueWait,
+  EngineLease,
+  CacheProbe,
+  Execute,
+  Translate,
+  // stream path
+  ApplyBatch,
+  Snapshot,
+  Compact,
+  VeboRefine,
+  Publish,
+};
+inline constexpr std::size_t kNumSpanKinds = 14;
+const char* to_string(SpanKind k);
+
+/// Sentinel for a kind-specific arg the instrumentation site did not
+/// have (e.g. the out-edge sum when the heuristic never computed it —
+/// tracing must not force the degree walk). Omitted from the export.
+inline constexpr std::uint64_t kUnknownArg = ~std::uint64_t{0};
+
+/// Which dense kernel instantiation a framework step ran.
+enum class KernelVariant : std::uint8_t {
+  None = 0,   ///< not a dense kernel (sparse push)
+  Probe,      ///< BitsetProbe pull
+  Complete,   ///< CompleteProbe pull (complete-frontier specialization)
+  Fold,       ///< edge_fold register-accumulating gather
+};
+const char* to_string(KernelVariant v);
+
+/// One traced step. `a`/`b`/`c`/`d` are kind-specific (the exporter
+/// names them):
+///  * EdgeMap/EdgeApply/EdgeFold: a = frontier size, b = frontier
+///    out-edge sum (~0 = not computed by the heuristic), c = dense
+///    threshold, d = dense chunk/partition count (0 = sparse path).
+///  * Iteration: a = iteration index, b = frontier size (when the
+///    algorithm tracks one).
+///  * QueueWait: (none). EngineLease/Execute: a = snapshot version.
+///  * CacheProbe: a = 1 on hit. Translate: a = payload vertex count.
+///  * ApplyBatch: a = inserted, b = removed, c = vertices grown.
+///  * VeboRefine: a = RebalanceAction, b = dirty vertex count.
+///  * Publish/Snapshot: a = version (0 when unversioned).
+struct Span {
+  std::uint64_t start_ns = 0;  ///< steady-clock stamp
+  std::uint64_t dur_ns = 0;
+  std::uint64_t a = 0, b = 0, c = 0, d = 0;
+  /// Cost-model estimate for the step (ns); < 0 = no model installed or
+  /// not a modeled step. Recorded next to dur_ns so every traced query
+  /// yields a predicted-vs-actual pair per step.
+  double predicted_ns = -1;
+  SpanKind kind = SpanKind::EdgeMap;
+  KernelVariant variant = KernelVariant::None;
+  std::uint8_t direction = 0;  ///< 0 n/a, 1 push, 2 pull
+  std::uint8_t rep = 0;        ///< frontier rep: 0 n/a, 1 sparse, 2 dense, 3 complete
+  std::uint8_t flags = 0;      ///< bit0 = early-exit, bit1 = no-output
+};
+
+/// A finished trace: spans in start order, plus ring accounting.
+struct Trace {
+  std::uint64_t id = 0;
+  std::uint64_t begin_ns = 0;  ///< Tracer::begin() stamp
+  std::uint64_t end_ns = 0;    ///< Tracer::end() stamp
+  std::vector<Span> spans;
+  std::uint64_t recorded = 0;  ///< spans ever recorded (>= spans.size())
+  std::uint64_t dropped = 0;   ///< overwritten by ring wrap
+};
+
+/// Linear cost-model coefficients in NANOSECONDS per unit (the
+/// metrics/cost_model fit is in seconds — scale by 1e9 when installing).
+struct CostCoefficients {
+  double per_edge = 0;
+  double per_dest = 0;
+  double per_source = 0;
+  double fixed = 0;
+};
+
+namespace detail {
+
+/// Count of threads with an active trace. The ONE relaxed load every
+/// disarmed instrumentation site pays.
+inline std::atomic<std::uint32_t> g_active_traces{0};
+
+void record(const Span& s);  // appends to the calling thread's ring
+bool thread_tracing_slow();  // TLS check (only called when armed)
+bool predict(double edges, double dests, double sources, double& out_ns);
+std::uint64_t now_ns();
+
+}  // namespace detail
+
+/// True iff ANY thread has an active trace — the armed check. One
+/// relaxed atomic load; the per-thread check happens only when armed.
+inline bool tracing_enabled() {
+  return detail::g_active_traces.load(std::memory_order_relaxed) != 0;
+}
+
+/// The process tracer. All state is per-thread (see file comment); the
+/// static API manipulates the calling thread's trace.
+class Tracer {
+ public:
+  /// Default ring capacity (spans) for begin().
+  static constexpr std::size_t kDefaultCapacity = 1 << 15;
+
+  /// Starts a trace on the calling thread and returns its id (unique
+  /// process-wide, never 0). Throws if this thread is already tracing.
+  static std::uint64_t begin(std::size_t capacity = kDefaultCapacity);
+
+  /// Ends the calling thread's trace and returns it (spans in start
+  /// order). Throws if the thread is not tracing.
+  static Trace end();
+
+  /// True iff the CALLING thread has an active trace.
+  static bool thread_tracing() {
+    return tracing_enabled() && detail::thread_tracing_slow();
+  }
+
+  /// Records a span into the calling thread's trace; no-op when the
+  /// thread is not tracing. For spans whose start/duration the caller
+  /// measured itself (e.g. queue wait); scoped steps use SpanScope.
+  static void record(const Span& s) {
+    if (!thread_tracing()) return;
+    detail::record(s);
+  }
+
+  /// Installs / clears cost-model coefficients for predicted_ns
+  /// (process-global; typically fit once via metrics::fit_cost_model).
+  static void set_cost_model(const CostCoefficients& c);
+  static void clear_cost_model();
+
+  static std::uint64_t now_ns() { return detail::now_ns(); }
+};
+
+/// RAII step span: stamps start at construction, records at destruction.
+/// Dead (one relaxed load, nothing else) unless the calling thread is
+/// tracing; fill args only under live().
+class SpanScope {
+ public:
+  explicit SpanScope(SpanKind kind) {
+    if (!tracing_enabled()) return;
+    init(kind);
+  }
+  ~SpanScope() {
+    if (live_) finish();
+  }
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+  bool live() const { return live_; }
+  /// The span under construction; meaningful only when live().
+  Span& span() { return span_; }
+
+  /// Fills predicted_ns from the installed cost model (no-op when dead
+  /// or no model is installed). Features are the step's heuristic
+  /// inputs: edges to traverse, destinations scanned, sources active.
+  void predict(double edges, double dests, double sources) {
+    if (!live_) return;
+    double ns;
+    if (detail::predict(edges, dests, sources, ns)) span_.predicted_ns = ns;
+  }
+
+ private:
+  void init(SpanKind kind);  // TLS check + start stamp (trace.cpp)
+  void finish();             // duration stamp + ring append (trace.cpp)
+
+  Span span_{};
+  bool live_ = false;
+};
+
+/// RAII thread trace: begin() on construction, end() via finish() — or
+/// silently discarded on destruction if finish() was never reached (the
+/// exception path must not leave the thread armed).
+class ThreadTrace {
+ public:
+  explicit ThreadTrace(std::size_t capacity = Tracer::kDefaultCapacity) {
+    id_ = Tracer::begin(capacity);
+  }
+  ~ThreadTrace() {
+    if (!done_) (void)Tracer::end();
+  }
+  ThreadTrace(const ThreadTrace&) = delete;
+  ThreadTrace& operator=(const ThreadTrace&) = delete;
+
+  std::uint64_t id() const { return id_; }
+  Trace finish() {
+    done_ = true;
+    return Tracer::end();
+  }
+
+ private:
+  std::uint64_t id_ = 0;
+  bool done_ = false;
+};
+
+/// Renders a trace in the Chrome trace-event JSON format (an object with
+/// a "traceEvents" array of complete-slice "ph":"X" events, timestamps
+/// in microseconds relative to the trace begin). Loadable in Perfetto
+/// and chrome://tracing.
+std::string to_chrome_trace_json(const Trace& t);
+
+}  // namespace vebo::obs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 
 #include "algorithms/registry.hpp"
 #include "support/error.hpp"
@@ -56,6 +57,11 @@ GraphService::GraphService(SnapshotStore& store, GraphServiceOptions opts)
     worker_state_.push_back(std::make_unique<WorkerState>());
   for (std::size_t i = 0; i < opts_.workers; ++i)
     workers_.emplace_back([this, i] { worker_loop(i); });
+  // Register on the metrics plane last: a scrape can land the moment the
+  // collector exists, so the service must already be fully built.
+  if (opts_.metrics != nullptr)
+    metrics_reg_ = opts_.metrics->add_collector(
+        [this](std::vector<obs::MetricSample>& out) { collect_metrics(out); });
 }
 
 GraphService::~GraphService() { stop(); }
@@ -71,8 +77,18 @@ Submission GraphService::submit(Query q) {
                           std::chrono::microseconds(static_cast<std::int64_t>(
                               q.deadline_ms * 1000.0)));
   if (q.cancel.can_be_cancelled()) item.ctx.set_cancel_token(q.cancel);
+  // Traced queries stamp their enqueue time for the queue-wait span;
+  // untraced submits skip even the clock read.
+  if (q.trace) item.enqueued_ns = obs::Tracer::now_ns();
   item.q = std::move(q);
   sub.result = item.promise.get_future();
+  // Ledger discipline (see GraphServiceStats): a query enters the books
+  // in the SAME critical section that decides its admission, as either
+  // {submitted, in_flight} or {submitted, rejected}. The accepted-path
+  // count nests stats_mutex_ inside queue_mutex_ so a worker cannot
+  // complete the query (it cannot even pop it) before it is counted —
+  // an observer can therefore never see completed+failed+rejected+
+  // in_flight drift from submitted.
   {
     std::lock_guard<std::mutex> lk(queue_mutex_);
     if (stopping_) {
@@ -83,33 +99,48 @@ Submission GraphService::submit(Query q) {
       sub.status = SubmitStatus::QueueFull;
     } else {
       sub.status = SubmitStatus::Accepted;
+      {
+        std::lock_guard<std::mutex> slk(stats_mutex_);
+        ++stats_.submitted;
+        ++stats_.in_flight;
+      }
       queue_.push_back(std::move(item));
     }
   }
   // Graceful degradation: a backpressure rejection may instead be
   // answered from the previous-epoch generation (stale-serve mode only;
   // the result carries stale=true). The submission then counts as
-  // accepted + completed, never as rejected.
-  if (sub.status == SubmitStatus::QueueFull && try_serve_stale(item)) {
-    sub.status = SubmitStatus::Accepted;
-    std::lock_guard<std::mutex> lk(stats_mutex_);
-    ++stats_.submitted;
-    return sub;
-  }
-  {
-    std::lock_guard<std::mutex> lk(stats_mutex_);
-    ++stats_.submitted;
-    if (sub.status != SubmitStatus::Accepted) {
-      ++stats_.rejected;
-      // Rejections carry no future, so the code lands in the counter
-      // only (nothing to attach a ServiceError to).
-      ++stats_.errors_by_code[code_index(ErrorCode::Overloaded)];
+  // accepted + completed, never as rejected. The query is entered as
+  // in-flight BEFORE the stale lookup and settled after, so the ledger
+  // invariant holds for observers during the lookup too.
+  if (sub.status == SubmitStatus::QueueFull && opts_.serve_stale) {
+    {
+      std::lock_guard<std::mutex> lk(stats_mutex_);
+      ++stats_.submitted;
+      ++stats_.in_flight;
     }
+    if (try_serve_stale(item, /*ws=*/nullptr)) {
+      sub.status = SubmitStatus::Accepted;
+      return sub;
+    }
+    std::lock_guard<std::mutex> lk(stats_mutex_);
+    --stats_.in_flight;
+    ++stats_.rejected;
+    ++stats_.errors_by_code[code_index(ErrorCode::Overloaded)];
+    sub.result = {};  // rejected submissions carry no future
+    return sub;
   }
   if (sub.status == SubmitStatus::Accepted) {
     queue_cv_.notify_one();
   } else {
+    std::lock_guard<std::mutex> lk(stats_mutex_);
+    ++stats_.submitted;
+    ++stats_.rejected;
+    // Rejections carry no future, so the code lands in the counter
+    // only (nothing to attach a ServiceError to).
+    ++stats_.errors_by_code[code_index(ErrorCode::Overloaded)];
     sub.result = {};  // rejected submissions carry no future
+    return sub;
   }
   return sub;
 }
@@ -134,9 +165,13 @@ QueryResult GraphService::query(Query q, RetryPolicy retry) {
 std::uint64_t GraphService::publish(
     std::shared_ptr<const Graph> graph, order::Partitioning partitioning,
     std::shared_ptr<const Permutation> perm) {
+  // Stream-path span (writer thread): covers the store publish AND the
+  // cache invalidation/rotation that makes the epoch visible.
+  obs::SpanScope span(obs::SpanKind::Publish);
   const std::uint64_t v =
       store_.publish(std::move(graph), std::move(partitioning),
                      std::move(perm));
+  if (span.live()) span.span().a = v;
   invalidate_cache(v);
   return v;
 }
@@ -179,13 +214,13 @@ void GraphService::worker_loop(std::size_t worker_idx) {
     // Chaos hook: a stalled worker between pickup and execution — the
     // window where deadlines lapse after the queue check would pass.
     FaultInjector::instance().delay_point(FaultInjector::Hook::WorkerStall);
-    process(item);
+    process(item, ws);
     ws.processed.fetch_add(1, std::memory_order_relaxed);
     ws.busy_since_us.store(-1, std::memory_order_release);
   }
 }
 
-void GraphService::process(Item& item) {
+void GraphService::process(Item& item, WorkerState& ws) {
   // Shed before execution: a queued query whose client already gave up
   // (cancel fired / deadline lapsed) must fail fast — no snapshot pin,
   // no engine lease, no run.
@@ -204,10 +239,28 @@ void GraphService::process(Item& item) {
     }
     // Deadline pressure is exactly what stale-serve degrades under: a
     // previous-epoch answer now beats a typed failure.
-    if (try_serve_stale(item)) return;
+    if (try_serve_stale(item, &ws)) return;
     fail(item, ErrorCode::DeadlineExceeded,
          "query deadline expired while queued (shed before execution)");
     return;
+  }
+  // Opt-in tracing: arm this worker thread for the run. Everything the
+  // query does from here — the serve-path spans below, every framework
+  // step inside spec->run — records into this trace and nobody else's
+  // (rings are per-thread). A failed run discards the trace via RAII.
+  std::optional<obs::ThreadTrace> trace;
+  if (item.q.trace) {
+    trace.emplace();
+    if (item.enqueued_ns != 0) {
+      // The wait already happened, so record it with explicit stamps
+      // (its start predates the trace; the exporter clamps).
+      obs::Span s;
+      s.kind = obs::SpanKind::QueueWait;
+      s.start_ns = item.enqueued_ns;
+      const std::uint64_t now = obs::Tracer::now_ns();
+      s.dur_ns = now > item.enqueued_ns ? now - item.enqueued_ns : 0;
+      obs::Tracer::record(s);
+    }
   }
   try {
     QueryResult r;
@@ -254,14 +307,18 @@ void GraphService::process(Item& item) {
     const bool want_payload = item.q.result == ResultKind::Payload;
     bool hit = false;
     if (opts_.enable_cache) {
-      std::lock_guard<std::mutex> lk(cache_mutex_);
-      if (cache_version_ == snap.version()) {
-        if (const ResultCache::Value* v = cache_.find(key)) {
-          r.value = v->checksum;
-          if (want_payload) r.payload = v->payload;
-          hit = true;
+      obs::SpanScope probe(obs::SpanKind::CacheProbe);
+      {
+        std::lock_guard<std::mutex> lk(cache_mutex_);
+        if (cache_version_ == snap.version()) {
+          if (const ResultCache::Value* v = cache_.find(key)) {
+            r.value = v->checksum;
+            if (want_payload) r.payload = v->payload;
+            hit = true;
+          }
         }
       }
+      if (probe.live()) probe.span().a = hit ? 1 : 0;
     }
     if (!hit) {
       // Execution-space params: the source translated to its snapshot
@@ -269,7 +326,19 @@ void GraphService::process(Item& item) {
       // translated once, here in the worker — never under the cache lock.
       algo::QueryParams exec = norm;
       if (takes_source) exec.set("source", source);
+      // Lease span with explicit stamps (a SpanScope would have to
+      // outlive this statement or force a move of the lease).
+      const std::uint64_t lease_start =
+          obs::Tracer::thread_tracing() ? obs::Tracer::now_ns() : 0;
       EnginePool::Lease lease = pool_.lease(snap);
+      if (lease_start != 0) {
+        obs::Span s;
+        s.kind = obs::SpanKind::EngineLease;
+        s.start_ns = lease_start;
+        s.dur_ns = obs::Tracer::now_ns() - lease_start;
+        s.a = snap.version();
+        obs::Tracer::record(s);
+      }
       // Chaos hook: a query that fails after the lease was taken — the
       // lease must come back via RAII (invariant: outstanding() drains
       // to zero whatever happens below).
@@ -277,6 +346,8 @@ void GraphService::process(Item& item) {
           FaultInjector::Hook::QueryThrow, "query execution");
       algo::QueryPayload payload;
       {
+        obs::SpanScope run(obs::SpanKind::Execute);
+        if (run.live()) run.span().a = snap.version();
         // Bind the query's context for the duration of the run: the
         // framework entry points and the algorithms' hand-rolled loops
         // poll it between supersteps, so cancellation / deadline expiry
@@ -287,21 +358,38 @@ void GraphService::process(Item& item) {
         payload = spec->run(lease.engine(), exec, item.ctx);
       }
       lease.release();
-      // The fold runs in snapshot order — the order the legacy surface
-      // sums in — so checksums stay byte-identical across orderings.
-      r.value = spec->checksum(payload);
-      // Translation is skipped entirely when nobody will see the payload
-      // (checksum-only query, cache off) — scalar answers stay cheap.
       std::shared_ptr<const algo::QueryPayload> shared;
-      // Chaos hook: allocation failure at the one serve-path allocation
-      // that scales with the answer (per-vertex payload copy).
-      FaultInjector::instance().failure_point(
-          FaultInjector::Hook::AllocThrow, "payload allocation");
-      if (want_payload || opts_.enable_cache)
-        shared = std::make_shared<const algo::QueryPayload>(
-            perm != nullptr
-                ? algo::translate_to_original_ids(payload, *perm)
-                : std::move(payload));
+      {
+        obs::SpanScope tr(obs::SpanKind::Translate);
+        if (tr.live()) {
+          std::uint64_t nvert = 0;
+          switch (payload.kind()) {
+            case algo::PayloadKind::VertexDoubles:
+              nvert = payload.doubles().size();
+              break;
+            case algo::PayloadKind::VertexIds:
+              nvert = payload.ids().size();
+              break;
+            default: break;
+          }
+          tr.span().a = nvert;
+        }
+        // The fold runs in snapshot order — the order the legacy surface
+        // sums in — so checksums stay byte-identical across orderings.
+        r.value = spec->checksum(payload);
+        // Translation is skipped entirely when nobody will see the
+        // payload (checksum-only query, cache off) — scalar answers stay
+        // cheap.
+        // Chaos hook: allocation failure at the one serve-path allocation
+        // that scales with the answer (per-vertex payload copy).
+        FaultInjector::instance().failure_point(
+            FaultInjector::Hook::AllocThrow, "payload allocation");
+        if (want_payload || opts_.enable_cache)
+          shared = std::make_shared<const algo::QueryPayload>(
+              perm != nullptr
+                  ? algo::translate_to_original_ids(payload, *perm)
+                  : std::move(payload));
+      }
       if (want_payload) r.payload = shared;
       if (opts_.enable_cache) {
         std::uint64_t evicted_before = 0, evicted_after = 0;
@@ -339,18 +427,23 @@ void GraphService::process(Item& item) {
     }
     r.cache_hit = hit;
     r.latency_ms = item.submitted.elapsed_ms();
-    record(r.latency_ms);
+    record(r.latency_ms, &ws);
     {
       std::lock_guard<std::mutex> lk(stats_mutex_);
       ++stats_.completed;
+      --stats_.in_flight;
       if (hit) ++stats_.cache_hits;
     }
+    // Close the trace before resolving the promise so the client's
+    // future carries the complete span set.
+    if (trace) r.trace = std::make_shared<const obs::Trace>(trace->finish());
     item.promise.set_value(r);
   } catch (const ServiceError& e) {
     // Already typed: count the code and hand the original object on.
     {
       std::lock_guard<std::mutex> lk(stats_mutex_);
       ++stats_.failed;
+      --stats_.in_flight;
       ++stats_.errors_by_code[code_index(e.code())];
     }
     item.promise.set_exception(std::current_exception());
@@ -374,6 +467,7 @@ void GraphService::fail(Item& item, ErrorCode code, const std::string& what) {
   {
     std::lock_guard<std::mutex> lk(stats_mutex_);
     ++stats_.failed;
+    --stats_.in_flight;
     ++stats_.errors_by_code[code_index(code)];
   }
   // set_exception, not throw: the worker thread must survive the failure
@@ -382,7 +476,7 @@ void GraphService::fail(Item& item, ErrorCode code, const std::string& what) {
       std::make_exception_ptr(ServiceError(code, what)));
 }
 
-bool GraphService::try_serve_stale(Item& item) {
+bool GraphService::try_serve_stale(Item& item, WorkerState* ws) {
   if (!opts_.serve_stale) return false;
   // The stale key is the same canonical identity a live lookup would
   // use; anything that fails here (unknown code, bad params) just means
@@ -413,11 +507,12 @@ bool GraphService::try_serve_stale(Item& item) {
   r.stale = true;
   r.cache_hit = true;
   r.latency_ms = item.submitted.elapsed_ms();
-  record(r.latency_ms);
+  record(r.latency_ms, ws);
   {
     std::lock_guard<std::mutex> lk(stats_mutex_);
     ++stats_.completed;
     ++stats_.stale_served;
+    --stats_.in_flight;
   }
   item.promise.set_value(r);
   return true;
@@ -477,16 +572,26 @@ ServiceHealth GraphService::health() const {
   return h;
 }
 
-void GraphService::record(double latency_ms) {
+void GraphService::record(double latency_ms, WorkerState* ws) {
   // Log-bucketed microseconds (~6% resolution, bounded bin count — a
   // one-off multi-second outlier must not balloon the histogram). 0
   // rounds up to 1us so the p50 of all-cache-hit workloads is not
   // reported as exactly zero.
   const auto us = static_cast<std::uint64_t>(
       std::max(1.0, latency_ms * 1000.0));
-  std::lock_guard<std::mutex> lk(stats_mutex_);
-  latency_buckets_.add(log_bucket(us));
-  latency_sum_ms_ += latency_ms;
+  const std::uint64_t bucket = log_bucket(us);
+  if (ws != nullptr) {
+    // Worker completions land in the worker's own histogram: uncontended
+    // in steady state (latency() is the only other reader).
+    std::lock_guard<std::mutex> lk(ws->lat_mutex);
+    ws->lat_buckets.add(bucket);
+    ws->lat_sum_ms += latency_ms;
+  } else {
+    // Off-worker samples (submit-thread stale serves).
+    std::lock_guard<std::mutex> lk(stats_mutex_);
+    latency_buckets_.add(bucket);
+    latency_sum_ms_ += latency_ms;
+  }
 }
 
 GraphServiceStats GraphService::stats() const {
@@ -495,21 +600,134 @@ GraphServiceStats GraphService::stats() const {
 }
 
 LatencySummary GraphService::latency() const {
-  std::lock_guard<std::mutex> lk(stats_mutex_);
+  // Merge the per-worker histograms with the service-level one; locks
+  // are taken one at a time (no nesting), so workers keep recording.
+  Histogram merged;
+  double sum_ms = 0;
+  {
+    std::lock_guard<std::mutex> lk(stats_mutex_);
+    merged = latency_buckets_;
+    sum_ms = latency_sum_ms_;
+  }
+  for (const auto& ws : worker_state_) {
+    std::lock_guard<std::mutex> lk(ws->lat_mutex);
+    merged.merge(ws->lat_buckets);
+    sum_ms += ws->lat_sum_ms;
+  }
   LatencySummary s;
-  s.samples = latency_buckets_.total();
+  s.samples = merged.total();
   if (s.samples == 0) return s;
-  s.p50_ms = static_cast<double>(
-                 log_bucket_floor(latency_buckets_.value_at_quantile(0.50))) /
-             1e3;
-  s.p95_ms = static_cast<double>(
-                 log_bucket_floor(latency_buckets_.value_at_quantile(0.95))) /
-             1e3;
-  s.p99_ms = static_cast<double>(
-                 log_bucket_floor(latency_buckets_.value_at_quantile(0.99))) /
-             1e3;
-  s.mean_ms = latency_sum_ms_ / static_cast<double>(s.samples);
+  s.p50_ms =
+      static_cast<double>(log_bucket_floor(merged.value_at_quantile(0.50))) /
+      1e3;
+  s.p95_ms =
+      static_cast<double>(log_bucket_floor(merged.value_at_quantile(0.95))) /
+      1e3;
+  s.p99_ms =
+      static_cast<double>(log_bucket_floor(merged.value_at_quantile(0.99))) /
+      1e3;
+  s.mean_ms = sum_ms / static_cast<double>(s.samples);
   return s;
+}
+
+void GraphService::collect_metrics(std::vector<obs::MetricSample>& out) const {
+  using obs::MetricSample;
+  using obs::MetricType;
+  auto emit = [&out](MetricType type, const char* name, const char* help,
+                     double value,
+                     std::vector<std::pair<std::string, std::string>> labels =
+                         {}) {
+    MetricSample s;
+    s.name = name;
+    s.help = help;
+    s.type = type;
+    s.labels = std::move(labels);
+    s.value = value;
+    out.push_back(std::move(s));
+  };
+
+  const GraphServiceStats st = stats();
+  emit(MetricType::Counter, "vebo_service_submitted_total",
+       "queries ever submitted (accepted or rejected)",
+       static_cast<double>(st.submitted));
+  emit(MetricType::Counter, "vebo_service_rejected_total",
+       "submits rejected by backpressure", static_cast<double>(st.rejected));
+  emit(MetricType::Counter, "vebo_service_completed_total",
+       "queries answered successfully", static_cast<double>(st.completed));
+  emit(MetricType::Counter, "vebo_service_failed_total",
+       "queries completed exceptionally", static_cast<double>(st.failed));
+  emit(MetricType::Gauge, "vebo_service_in_flight",
+       "accepted queries not yet settled",
+       static_cast<double>(st.in_flight));
+  emit(MetricType::Counter, "vebo_service_shed_total",
+       "accepted queries shed before execution",
+       static_cast<double>(st.shed_deadline), {{"reason", "deadline"}});
+  emit(MetricType::Counter, "vebo_service_shed_total",
+       "accepted queries shed before execution",
+       static_cast<double>(st.shed_cancelled), {{"reason", "cancelled"}});
+  emit(MetricType::Counter, "vebo_service_stale_served_total",
+       "answers served from the retired cache generation",
+       static_cast<double>(st.stale_served));
+  for (std::size_t i = 0; i < kNumErrorCodes; ++i)
+    emit(MetricType::Counter, "vebo_service_errors_total",
+         "failures by ServiceError code",
+         static_cast<double>(st.errors_by_code[i]),
+         {{"code", to_string(static_cast<ErrorCode>(i))}});
+
+  // Result cache: hits/invalidations come from the service ledger,
+  // occupancy and evictions from the cache itself.
+  emit(MetricType::Counter, "vebo_cache_hits_total",
+       "queries answered from the live cache generation",
+       static_cast<double>(st.cache_hits));
+  emit(MetricType::Counter, "vebo_cache_invalidations_total",
+       "cache generations wiped or rotated by publish",
+       static_cast<double>(st.invalidations));
+  {
+    std::lock_guard<std::mutex> lk(cache_mutex_);
+    emit(MetricType::Counter, "vebo_cache_evictions_total",
+         "entries LRU-evicted from a full cache",
+         static_cast<double>(cache_.evictions()));
+    emit(MetricType::Gauge, "vebo_cache_entries",
+         "live-generation entries resident",
+         static_cast<double>(cache_.size()));
+    emit(MetricType::Gauge, "vebo_cache_stale_entries",
+         "retired-generation entries resident",
+         static_cast<double>(cache_.stale_size()));
+  }
+
+  const EnginePoolStats ps = pool_.stats();
+  emit(MetricType::Counter, "vebo_pool_engines_created_total",
+       "engine contexts ever constructed", static_cast<double>(ps.created));
+  emit(MetricType::Counter, "vebo_pool_leases_total",
+       "engine leases handed out", static_cast<double>(ps.leases));
+  emit(MetricType::Counter, "vebo_pool_rebinds_total",
+       "leases that crossed a snapshot version",
+       static_cast<double>(ps.rebinds));
+  emit(MetricType::Counter, "vebo_pool_waits_total",
+       "leases that blocked on a full pool", static_cast<double>(ps.waits));
+
+  const SnapshotStoreStats ss = store_.stats();
+  emit(MetricType::Counter, "vebo_snapshots_published_total",
+       "epochs ever published", static_cast<double>(ss.published));
+  emit(MetricType::Counter, "vebo_snapshots_reclaimed_total",
+       "epochs whose last reference dropped",
+       static_cast<double>(ss.reclaimed));
+  emit(MetricType::Gauge, "vebo_snapshots_live", "published - reclaimed",
+       static_cast<double>(ss.live));
+
+  const LatencySummary ls = latency();
+  const char* lat_help = "submit-to-completion latency quantiles";
+  emit(MetricType::Summary, "vebo_service_latency_ms", lat_help, ls.p50_ms,
+       {{"quantile", "0.5"}});
+  emit(MetricType::Summary, "vebo_service_latency_ms", lat_help, ls.p95_ms,
+       {{"quantile", "0.95"}});
+  emit(MetricType::Summary, "vebo_service_latency_ms", lat_help, ls.p99_ms,
+       {{"quantile", "0.99"}});
+  emit(MetricType::Gauge, "vebo_service_latency_ms_sum",
+       "total latency over all samples",
+       ls.mean_ms * static_cast<double>(ls.samples));
+  emit(MetricType::Gauge, "vebo_service_latency_ms_count",
+       "latency samples recorded", static_cast<double>(ls.samples));
 }
 
 }  // namespace vebo::serve

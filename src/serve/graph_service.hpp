@@ -75,6 +75,8 @@
 #include "algorithms/query.hpp"
 #include "framework/cancel.hpp"
 #include "graph/permute.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/engine_pool.hpp"
 #include "serve/result_cache.hpp"
 #include "serve/service_error.hpp"
@@ -103,6 +105,13 @@ struct GraphServiceOptions {
   /// from it (marked stale) instead of rejecting. Requires enable_cache.
   /// Off by default — default-mode behavior is identical to PR 5.
   bool serve_stale = false;
+  /// Optional metrics plane: when set, the service registers one
+  /// collector that exposes every GraphServiceStats field (including
+  /// errors_by_code), the cache size/evictions, the engine-pool
+  /// lease/rebind counters, the snapshot-store publish/reclaim counters,
+  /// and the latency summary through the registry's exposition. The
+  /// registry must outlive the service.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// What shape of answer the client wants back.
@@ -129,6 +138,11 @@ struct Query {
   /// can never fire. Cancellation is observed within one superstep and
   /// fails the future with ErrorCode::Cancelled.
   CancelToken cancel;
+  /// Opt this query into execution tracing: the worker runs it under an
+  /// armed tracer and QueryResult::trace carries the spans (queue wait,
+  /// cache probe, engine lease, execute with every framework step,
+  /// translate). Untraced queries pay one relaxed atomic load per step.
+  bool trace = false;
 };
 
 struct QueryResult {
@@ -144,6 +158,9 @@ struct QueryResult {
   /// (stale-serve mode only; `version` is the epoch it was computed on).
   /// Default-mode results are never stale.
   bool stale = false;
+  /// The execution trace; set iff the query asked for Query::trace and
+  /// completed successfully. Export with obs::to_chrome_trace_json().
+  std::shared_ptr<const obs::Trace> trace;
 };
 
 enum class SubmitStatus : std::uint8_t { Accepted, QueueFull, Stopped };
@@ -155,11 +172,18 @@ struct Submission {
   bool accepted() const { return status == SubmitStatus::Accepted; }
 };
 
+/// Service counters. Snapshots from stats() are internally consistent:
+/// every ledger transition happens in one stats-mutex critical section,
+/// so `submitted == completed + failed + rejected + in_flight` holds for
+/// ANY observer at ANY instant — never just eventually.
 struct GraphServiceStats {
   std::uint64_t submitted = 0;
   std::uint64_t rejected = 0;   ///< backpressure rejections
   std::uint64_t completed = 0;
   std::uint64_t failed = 0;     ///< completed exceptionally
+  /// Accepted queries whose outcome is not yet decided (queued or
+  /// executing). The balancing term of the ledger invariant above.
+  std::uint64_t in_flight = 0;
   std::uint64_t cache_hits = 0;
   std::uint64_t invalidations = 0;  ///< cache wipes (publish / epoch change)
   std::uint64_t evictions = 0;      ///< single entries LRU-evicted when full
@@ -267,26 +291,40 @@ class GraphService {
     /// polled by the shed check and, via the engine binding, at every
     /// superstep of the run.
     QueryContext ctx;
+    /// Submit stamp for the trace's queue-wait span; 0 unless the query
+    /// opted into tracing (untraced submits skip the clock read).
+    std::uint64_t enqueued_ns = 0;
   };
 
   /// Per-worker heartbeat state. busy_since_us is a steady-clock
-  /// microsecond stamp; < 0 means idle.
+  /// microsecond stamp; < 0 means idle. The latency histogram is
+  /// per-worker so the record path never contends on the service-wide
+  /// stats mutex; latency() merges them (Histogram::merge).
   struct WorkerState {
     std::atomic<std::uint64_t> processed{0};
     std::atomic<std::int64_t> busy_since_us{-1};
+    std::mutex lat_mutex;
+    Histogram lat_buckets;  ///< log_bucket(latency us), see record()
+    double lat_sum_ms = 0;
   };
 
   void worker_loop(std::size_t worker_idx);
-  void process(Item& item);
+  void process(Item& item, WorkerState& ws);
   /// Fails the item's future with a ServiceError of the given code,
   /// counting `failed` and the per-code counter exactly once.
   void fail(Item& item, ErrorCode code, const std::string& what);
   /// Stale-serve attempt for a query that would otherwise fail
   /// (overload / deadline shed). Returns true iff the promise was
-  /// fulfilled from the previous-epoch generation.
-  bool try_serve_stale(Item& item);
+  /// fulfilled from the previous-epoch generation. `ws` routes the
+  /// latency sample (null from the submit thread).
+  bool try_serve_stale(Item& item, WorkerState* ws);
   void invalidate_cache(std::uint64_t published_version);
-  void record(double latency_ms);
+  /// Records a completion latency into `ws`'s histogram, or the
+  /// service-level one when null (submit-thread stale serves).
+  void record(double latency_ms, WorkerState* ws);
+  /// Emits every service/cache/pool/snapshot stat as metric samples
+  /// (the collector registered when options.metrics is set).
+  void collect_metrics(std::vector<obs::MetricSample>& out) const;
 
   SnapshotStore& store_;
   GraphServiceOptions opts_;
@@ -316,9 +354,16 @@ class GraphService {
 
   mutable std::mutex stats_mutex_;
   GraphServiceStats stats_;
-  /// Histogram over log_bucket(latency in us) — bounded bin count.
+  /// Service-level latency histogram: samples recorded off-worker
+  /// (submit-thread stale serves). Worker completions land in the
+  /// per-worker histograms; latency() merges all of them.
   Histogram latency_buckets_;
   double latency_sum_ms_ = 0;
+
+  /// Declared last so it deregisters first on destruction: an in-flight
+  /// scrape (which holds the registry mutex) finishes before any other
+  /// member is torn down.
+  obs::MetricsRegistry::Registration metrics_reg_;
 };
 
 }  // namespace vebo::serve

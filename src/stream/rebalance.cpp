@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 
 namespace vebo::stream {
@@ -87,41 +88,52 @@ void VeboMaintainer::run_full(const DeltaGraph& g) {
 }
 
 RebalanceAction VeboMaintainer::maybe_rebalance(const DeltaGraph& g) {
-  if (!drifted(g)) {
-    stats_.last_edge_imbalance = edge_imbalance();
-    stats_.last_vertex_imbalance = vertex_imbalance();
-    return RebalanceAction::None;
-  }
+  // Stream-path span: the drift check plus whatever maintenance it
+  // triggers. a = action taken, b = dirty vertices pending at entry.
+  obs::SpanScope span(obs::SpanKind::VeboRefine);
+  const std::uint64_t dirty_before = dirty_.size();
+  const RebalanceAction action = [&]() -> RebalanceAction {
+    if (!drifted(g)) {
+      stats_.last_edge_imbalance = edge_imbalance();
+      stats_.last_vertex_imbalance = vertex_imbalance();
+      return RebalanceAction::None;
+    }
 
-  const VertexId n = g.num_vertices();
-  const std::size_t new_vertices =
-      n > current_.perm.size() ? n - current_.perm.size() : 0;
-  const double dirty_fraction =
-      static_cast<double>(dirty_.size() + new_vertices) / n;
-  if (dirty_fraction > opts_.full_rebuild_fraction) {
+    const VertexId n = g.num_vertices();
+    const std::size_t new_vertices =
+        n > current_.perm.size() ? n - current_.perm.size() : 0;
+    const double dirty_fraction =
+        static_cast<double>(dirty_.size() + new_vertices) / n;
+    if (dirty_fraction > opts_.full_rebuild_fraction) {
+      run_full(g);
+      return RebalanceAction::Full;
+    }
+
+    // Accept the refinement when it restores balance to the absolute bound
+    // or to the quality the previous (full-quality) ordering achieved —
+    // whichever is looser. On skewed graphs where a hub makes the absolute
+    // bound unattainable, matching the previous baseline is the achievable
+    // target; anything worse falls through to the full re-run.
+    order::VeboResult refined = order::vebo_refine(
+        degrees_at_build_, g.in_degrees(), current_, dirty_);
+    if (refined.edge_imbalance() <= std::max(edge_bound(g), base_edge_imb_) &&
+        refined.vertex_imbalance() <=
+            std::max(vertex_bound(g), base_vertex_imb_)) {
+      adopt(std::move(refined), g);
+      ++stats_.incremental;
+      return RebalanceAction::Incremental;
+    }
+
+    // Refinement could not restore the bounds: past the drift bound, fall
+    // back to the full Algorithm-2 re-run.
     run_full(g);
     return RebalanceAction::Full;
+  }();
+  if (span.live()) {
+    span.span().a = static_cast<std::uint64_t>(action);
+    span.span().b = dirty_before;
   }
-
-  // Accept the refinement when it restores balance to the absolute bound
-  // or to the quality the previous (full-quality) ordering achieved —
-  // whichever is looser. On skewed graphs where a hub makes the absolute
-  // bound unattainable, matching the previous baseline is the achievable
-  // target; anything worse falls through to the full re-run.
-  order::VeboResult refined = order::vebo_refine(
-      degrees_at_build_, g.in_degrees(), current_, dirty_);
-  if (refined.edge_imbalance() <= std::max(edge_bound(g), base_edge_imb_) &&
-      refined.vertex_imbalance() <=
-          std::max(vertex_bound(g), base_vertex_imb_)) {
-    adopt(std::move(refined), g);
-    ++stats_.incremental;
-    return RebalanceAction::Incremental;
-  }
-
-  // Refinement could not restore the bounds: past the drift bound, fall
-  // back to the full Algorithm-2 re-run.
-  run_full(g);
-  return RebalanceAction::Full;
+  return action;
 }
 
 }  // namespace vebo::stream

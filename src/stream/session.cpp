@@ -1,22 +1,36 @@
 #include "stream/session.hpp"
 
 #include "graph/permute.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 
 namespace vebo::stream {
 
 StreamSession::StreamSession(const Graph& initial, SessionOptions opts)
-    : opts_(opts), delta_(initial), maintainer_(delta_, opts.rebalance) {}
+    : opts_(opts), delta_(initial), maintainer_(delta_, opts.rebalance) {
+  if (opts_.metrics != nullptr)
+    metrics_reg_ = opts_.metrics->add_collector(
+        [this](std::vector<obs::MetricSample>& out) { collect_metrics(out); });
+}
 
 StreamSession::BatchOutcome StreamSession::apply(
     std::span<const EdgeUpdate> batch) {
   BatchOutcome out;
-  out.applied = delta_.apply_batch(batch);
+  {
+    obs::SpanScope span(obs::SpanKind::ApplyBatch);
+    out.applied = delta_.apply_batch(batch);
+    if (span.live()) {
+      span.span().a = out.applied.inserted;
+      span.span().b = out.applied.removed;
+      span.span().c = out.applied.grew_vertices;
+    }
+  }
   ++stats_.batches;
   stats_.inserted += out.applied.inserted;
   stats_.removed += out.applied.removed;
 
   maintainer_.observe(out.applied);
+  // maybe_rebalance records its own VeboRefine span.
   out.rebalance = maintainer_.maybe_rebalance(delta_);
 
   if (out.applied.inserted > 0 || out.applied.removed > 0 ||
@@ -26,6 +40,7 @@ StreamSession::BatchOutcome StreamSession::apply(
   if (opts_.compact_fraction > 0 && delta_.num_edges() > 0 &&
       static_cast<double>(delta_.delta_edges()) >
           opts_.compact_fraction * static_cast<double>(delta_.num_edges())) {
+    obs::SpanScope span(obs::SpanKind::Compact);
     delta_.compact();
     ++stats_.compactions;
   }
@@ -34,6 +49,10 @@ StreamSession::BatchOutcome StreamSession::apply(
 
 void StreamSession::refresh() {
   if (!stale_ && snap_ != nullptr) return;
+  // Stream-path span: the snapshot + VEBO relabel + engine rebind a
+  // mutation's first query pays. a stays 0 — the session itself is
+  // unversioned (the SnapshotStore mints epoch versions at publish).
+  obs::SpanScope span(obs::SpanKind::Snapshot);
   // Snapshot in original ids, then relabel by the maintained ordering so
   // the engine sees VEBO-contiguous partitions.
   snap_ = std::make_shared<const Graph>(
@@ -85,6 +104,51 @@ algo::QueryPayload StreamSession::query_typed(const std::string& algo_code,
   const algo::QueryPayload payload = s.run(*engine_, norm, ctx);
   return algo::translate_to_original_ids(payload,
                                          maintainer_.ordering().perm);
+}
+
+void StreamSession::collect_metrics(
+    std::vector<obs::MetricSample>& out) const {
+  using obs::MetricSample;
+  using obs::MetricType;
+  auto emit = [&out](MetricType type, const char* name, const char* help,
+                     double value) {
+    MetricSample s;
+    s.name = name;
+    s.help = help;
+    s.type = type;
+    s.value = value;
+    out.push_back(std::move(s));
+  };
+  emit(MetricType::Counter, "vebo_stream_batches_total",
+       "update batches applied", static_cast<double>(stats_.batches));
+  emit(MetricType::Counter, "vebo_stream_inserted_total",
+       "edges inserted", static_cast<double>(stats_.inserted));
+  emit(MetricType::Counter, "vebo_stream_removed_total",
+       "edges removed", static_cast<double>(stats_.removed));
+  emit(MetricType::Counter, "vebo_stream_queries_total",
+       "queries run on the session", static_cast<double>(stats_.queries));
+  emit(MetricType::Counter, "vebo_stream_snapshots_total",
+       "snapshot + reorder rebuilds", static_cast<double>(stats_.snapshots));
+  emit(MetricType::Counter, "vebo_stream_compactions_total",
+       "DeltaGraph base rebuilds", static_cast<double>(stats_.compactions));
+  const RebalanceStats& rs = maintainer_.stats();
+  emit(MetricType::Counter, "vebo_rebalance_batches_observed_total",
+       "batches folded into the maintainer",
+       static_cast<double>(rs.batches_observed));
+  emit(MetricType::Counter, "vebo_rebalance_incremental_total",
+       "vebo_refine refinements adopted",
+       static_cast<double>(rs.incremental));
+  emit(MetricType::Counter, "vebo_rebalance_full_total",
+       "full VEBO re-runs", static_cast<double>(rs.full));
+  emit(MetricType::Gauge, "vebo_rebalance_edge_imbalance",
+       "last observed max-min partition in-edges",
+       static_cast<double>(rs.last_edge_imbalance));
+  emit(MetricType::Gauge, "vebo_rebalance_vertex_imbalance",
+       "last observed max-min partition vertices",
+       static_cast<double>(rs.last_vertex_imbalance));
+  emit(MetricType::Gauge, "vebo_rebalance_dirty_vertices",
+       "vertices whose degree changed since the last rebalance",
+       static_cast<double>(maintainer_.dirty_count()));
 }
 
 }  // namespace vebo::stream

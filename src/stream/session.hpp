@@ -25,6 +25,7 @@
 
 #include "algorithms/registry.hpp"
 #include "framework/engine.hpp"
+#include "obs/metrics.hpp"
 #include "stream/delta_graph.hpp"
 #include "stream/rebalance.hpp"
 
@@ -37,6 +38,12 @@ struct SessionOptions {
   /// Fold delta blocks into a fresh base once pending deltas exceed this
   /// fraction of the live edge count (0 disables auto-compaction).
   double compact_fraction = 0.5;
+  /// Optional metrics plane: when set, the session registers one
+  /// collector exposing SessionStats and the maintainer's
+  /// drift/rebalance counters. The registry must outlive the session.
+  /// A session is single-writer and its counters are unsynchronized:
+  /// scrape from the writer thread, or while it is quiescent.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct SessionStats {
@@ -94,6 +101,7 @@ class StreamSession {
 
  private:
   void refresh();
+  void collect_metrics(std::vector<obs::MetricSample>& out) const;
 
   SessionOptions opts_;
   DeltaGraph delta_;
@@ -104,6 +112,8 @@ class StreamSession {
   std::unique_ptr<Engine> engine_;  ///< engine bound to *snap_
   bool stale_ = true;
   SessionStats stats_;
+  /// Declared last: deregisters before any other member is torn down.
+  obs::MetricsRegistry::Registration metrics_reg_;
 };
 
 }  // namespace vebo::stream

@@ -41,6 +41,13 @@ double Histogram::fraction(std::uint64_t value) const {
   return static_cast<double>(count(value)) / static_cast<double>(total_);
 }
 
+void Histogram::merge(const Histogram& other) {
+  if (other.bins_.size() > bins_.size()) bins_.resize(other.bins_.size(), 0);
+  for (std::size_t v = 0; v < other.bins_.size(); ++v)
+    bins_[v] += other.bins_[v];
+  total_ += other.total_;
+}
+
 std::uint64_t Histogram::value_at_quantile(double q) const {
   if (total_ == 0) return 0;
   q = std::clamp(q, 0.0, 1.0);

@@ -36,6 +36,14 @@ class Histogram {
   /// histogram. q=0.5/0.95/0.99 are the serving latency percentiles.
   std::uint64_t value_at_quantile(double q) const;
 
+  /// Adds every sample of `other` into this histogram (bin-wise; exact,
+  /// since both record the same integer values). Aggregating per-worker
+  /// latency histograms this way preserves quantiles exactly at the bin
+  /// level: merged.value_at_quantile(q) is the nearest-rank answer over
+  /// the union of the samples, bounded between the per-part minimum and
+  /// maximum of value_at_quantile(q).
+  void merge(const Histogram& other);
+
   const std::vector<std::uint64_t>& bins() const { return bins_; }
 
   /// Log-log least-squares estimate of the power-law exponent alpha for

@@ -365,5 +365,94 @@ TEST(Timer, ScopedAccumulatorAdds) {
   EXPECT_GT(sink, 0.0);
 }
 
+// ------------------------------------------ histogram quantiles / merge
+
+TEST(HistogramQuantile, EmptyReturnsZero) {
+  Histogram h;
+  EXPECT_EQ(h.value_at_quantile(0.0), 0u);
+  EXPECT_EQ(h.value_at_quantile(0.5), 0u);
+  EXPECT_EQ(h.value_at_quantile(1.0), 0u);
+}
+
+TEST(HistogramQuantile, SingleSampleIsEveryQuantile) {
+  Histogram h;
+  h.add(42);
+  EXPECT_EQ(h.value_at_quantile(0.0), 42u);
+  EXPECT_EQ(h.value_at_quantile(0.5), 42u);
+  EXPECT_EQ(h.value_at_quantile(0.99), 42u);
+  EXPECT_EQ(h.value_at_quantile(1.0), 42u);
+}
+
+TEST(HistogramQuantile, SaturatedSingleBin) {
+  // Every sample in one bin: any quantile names that bin, and out-of-range
+  // q is clamped rather than misindexed.
+  Histogram h;
+  h.add(7, 1'000'000);
+  EXPECT_EQ(h.value_at_quantile(-3.0), 7u);
+  EXPECT_EQ(h.value_at_quantile(0.5), 7u);
+  EXPECT_EQ(h.value_at_quantile(7.0), 7u);
+}
+
+TEST(HistogramQuantile, NearestRankOnUniform) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 100; ++v) h.add(v);
+  EXPECT_EQ(h.value_at_quantile(0.50), 50u);
+  EXPECT_EQ(h.value_at_quantile(0.95), 95u);
+  EXPECT_EQ(h.value_at_quantile(1.0), 100u);
+  EXPECT_EQ(h.value_at_quantile(0.0), 1u);  // rank clamps up to 1
+}
+
+TEST(HistogramMerge, MatchesUnionOfSamples) {
+  // merge() must be exactly the histogram of the concatenated samples.
+  Xoshiro256 rng(7);
+  std::vector<std::uint64_t> all;
+  Histogram merged;
+  for (int part = 0; part < 5; ++part) {
+    Histogram h;
+    for (int i = 0; i < 200; ++i) {
+      const std::uint64_t v = rng.next_below(1000);
+      h.add(v);
+      all.push_back(v);
+    }
+    merged.merge(h);
+  }
+  const Histogram direct(all);
+  EXPECT_EQ(merged.total(), direct.total());
+  EXPECT_EQ(merged.max_value(), direct.max_value());
+  for (double q : {0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 1.0})
+    EXPECT_EQ(merged.value_at_quantile(q), direct.value_at_quantile(q)) << q;
+}
+
+TEST(HistogramMerge, EmptyCasesAreNoOps) {
+  Histogram a, b;
+  a.merge(b);  // empty += empty
+  EXPECT_EQ(a.total(), 0u);
+  b.add(3);
+  a.merge(b);  // empty += non-empty
+  EXPECT_EQ(a.total(), 1u);
+  EXPECT_EQ(a.count(3), 1u);
+  a.merge(Histogram{});  // non-empty += empty
+  EXPECT_EQ(a.total(), 1u);
+}
+
+TEST(HistogramMerge, QuantilePreservationBounds) {
+  // The merged nearest-rank quantile can never leave the interval
+  // spanned by the parts' own quantiles (it is a weighted compromise).
+  Histogram low, high;
+  for (std::uint64_t v = 0; v < 100; ++v) low.add(v);        // [0, 100)
+  for (std::uint64_t v = 500; v < 600; ++v) high.add(v);     // [500, 600)
+  Histogram merged = low;
+  merged.merge(high);
+  for (double q : {0.05, 0.25, 0.5, 0.75, 0.95}) {
+    const std::uint64_t lo = low.value_at_quantile(q);
+    const std::uint64_t hi = high.value_at_quantile(q);
+    const std::uint64_t m = merged.value_at_quantile(q);
+    EXPECT_GE(m, std::min(lo, hi)) << q;
+    EXPECT_LE(m, std::max(lo, hi)) << q;
+  }
+  // And the merged median sits exactly at the seam of the two parts.
+  EXPECT_EQ(merged.value_at_quantile(0.5), 99u);
+}
+
 }  // namespace
 }  // namespace vebo
