@@ -1,18 +1,24 @@
-// Observability demo: a writer streaming batches, clients querying, and
-// ONE traced query — everything the obs plane (PR 7) offers in ~100
-// lines.
+// Observability demo: a writer streaming batches, clients querying, ONE
+// traced query — and the PR 8 always-on plane catching a slow query
+// nobody opted into tracing.
 //
 // The service and the stream session both register on one
 // MetricsRegistry, so a single scrape shows the whole system: the
 // serving ledger (submitted/completed/failed/rejected/in_flight,
-// errors by code), cache and engine-pool behavior, snapshot epochs, and
-// the maintainer's rebalance counters. One client opts a PageRank query
-// into tracing (Query::trace): its result carries the full execution
-// trace — queue wait, cache probe, engine lease, every edge_map /
-// edge_fold step with the direction heuristic's inputs, iteration tops,
-// payload translation — which is dumped as Chrome trace-event JSON
-// (load trace_demo.json in Perfetto or chrome://tracing), alongside the
-// Prometheus text exposition (trace_demo_metrics.txt).
+// errors by code), cache and engine-pool behavior, snapshot epochs, the
+// maintainer's rebalance counters, and the PR 8 *_window gauges + SLO
+// burn rates. One client opts a PageRank query into tracing
+// (Query::trace): its result carries the full execution trace — dumped
+// as Chrome trace-event JSON (trace_demo.json).
+//
+// Then the always-on part: the flight recorder is armed for the whole
+// run, and after the storm one UNTRACED query is deliberately stalled
+// ~40ms through the fault injector. Tail sampling keeps it
+// automatically (it blows past the rolling p99-based threshold), its
+// forensic trace lands in service.trace_store() with zero opt-in
+// (trace_demo_slow.json), and an explicit flight-recorder dump freezes
+// the last seconds of every worker into trace_demo_flight.json. The
+// health() readout prints the window view and the SLO burn rate.
 //
 //   ./example_trace_demo [batches=6] [batch_size=1500] [clients=4]
 #include <atomic>
@@ -25,9 +31,11 @@
 
 #include "gen/datasets.hpp"
 #include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "obs/trace.hpp"
 #include "serve/graph_service.hpp"
 #include "stream/session.hpp"
+#include "support/fault.hpp"
 #include "support/prng.hpp"
 
 using namespace vebo;
@@ -50,6 +58,11 @@ int main(int argc, char** argv) {
   // One registry for the whole system: the session's collector and the
   // service's collector land in the same exposition.
   obs::MetricsRegistry registry;
+
+  // The black box flies armed for the entire run: every serve/stream
+  // stage span from every thread lands in per-thread rings holding the
+  // last few seconds, exported only when something asks.
+  obs::FlightRecorder::instance().arm();
 
   stream::SessionOptions sopts;
   sopts.model = SystemModel::Polymer;
@@ -129,8 +142,62 @@ int main(int argc, char** argv) {
                  "(ui.perfetto.dev) or chrome://tracing\n";
   }
 
+  // ---- PR 8: the always-on plane catches a slow query on its own. ----
+  // Stall ONE untraced query ~40ms through the fault injector (the only
+  // in-flight query, so rate 1.0 hits exactly it). Tail sampling has
+  // been ring-recording every query all along; this one blows past the
+  // rolling keep threshold and is persisted with zero opt-in.
+  const std::uint64_t captured_before = service.trace_store().captured();
+  FaultInjector::instance().arm(FaultInjector::Hook::WorkerStall,
+                                /*rate=*/1.0, /*delay_us=*/40'000);
+  Query stalled;
+  stalled.algo = "PR";
+  service.query(stalled);  // no Query::trace — capture is automatic
+  FaultInjector::instance().disarm_all();
+
+  const serve::ServiceHealth h = service.health();
+  std::cout << "\nalways-on telemetry after the storm:\n"
+            << "  window: " << h.window_samples << " samples, "
+            << h.window_qps << " qps, error rate " << h.window_error_rate
+            << ", p50/p95/p99 = " << h.window_p50_ms << "/" << h.window_p95_ms
+            << "/" << h.window_p99_ms << " ms\n"
+            << "  slo: availability " << h.availability << ", burn rate "
+            << h.burn_rate << ", latency burn " << h.latency_burn_rate
+            << (h.slo_healthy ? " (healthy)" : " (BURNING)") << "\n"
+            << "  tail sampling: " << h.traces_captured
+            << " traces kept, slow-keep threshold "
+            << h.slow_keep_threshold_ms << " ms\n";
+
+  if (service.trace_store().captured() > captured_before) {
+    const std::vector<obs::CapturedTrace> kept = service.trace_store().recent();
+    const obs::CapturedTrace& ct = kept.back();
+    std::cout << "auto-captured " << ct.trace.spans.size() << "-span trace #"
+              << ct.seq << ": algo=" << ct.algo << " reason=" << ct.reason
+              << " latency=" << ct.latency_ms << "ms\n";
+    std::ofstream f("trace_demo_slow.json");
+    f << obs::to_chrome_trace_json(ct.trace) << "\n";
+    std::cout << "Wrote trace_demo_slow.json — the stalled query's "
+                 "forensics, no opt-in\n";
+  } else {
+    std::cout << "stalled query was NOT captured (unexpected — threshold "
+              << h.slow_keep_threshold_ms << " ms)\n";
+  }
+
+  // Freeze the black box: every stage span from the last few seconds,
+  // all threads on one timeline.
+  const obs::FlightDump dump = obs::FlightRecorder::instance().dump("demo");
+  std::cout << "flight recorder dump #" << dump.seq << ": " << dump.spans.size()
+            << " spans across " << dump.threads << " threads ("
+            << dump.dropped << " dropped to ring wrap)\n";
+  {
+    std::ofstream f("trace_demo_flight.json");
+    f << obs::to_chrome_trace_json(dump) << "\n";
+  }
+  std::cout << "Wrote trace_demo_flight.json — the process's last seconds\n";
+  obs::FlightRecorder::instance().disarm();
+
   // One scrape shows the whole system: serve ledger, cache, pool,
-  // snapshots, stream/rebalance counters.
+  // snapshots, stream/rebalance counters, window gauges, burn rates.
   const std::string text = registry.prometheus_text();
   std::ofstream m("trace_demo_metrics.txt");
   m << text;

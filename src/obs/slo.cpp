@@ -1,0 +1,47 @@
+#include "obs/slo.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/histogram.hpp"
+
+namespace vebo::obs {
+
+SloTracker::SloTracker(SloConfig config) : config_(config) {
+  VEBO_CHECK(config_.target_availability < 1.0,
+             "SloTracker: target_availability must be < 1 "
+             "(a 100% target leaves no error budget)");
+  VEBO_CHECK(config_.target_availability >= 0.0 &&
+                 config_.latency_quantile > 0.0 &&
+                 config_.latency_quantile < 1.0,
+             "SloTracker: quantile/availability out of range");
+}
+
+SloStatus SloTracker::evaluate(const WindowSnapshot& w) const {
+  SloStatus s;
+  s.samples = w.total;
+  s.error_budget = 1.0 - config_.target_availability;
+  if (w.total < std::max<std::uint64_t>(1, config_.min_samples)) return s;
+  s.availability = 1.0 - w.error_rate;
+  s.burn_rate = w.error_rate / s.error_budget;
+  if (config_.target_latency_ms > 0 && w.latency_samples != 0) {
+    // The window histogram holds log_bucket(us) ids; every sample in a
+    // bucket <= log_bucket(target us) finished within the target (the
+    // bucket's ceiling is the next bucket's floor, and the target falls
+    // inside its own bucket — count_le over-credits by at most the
+    // in-bucket resolution, ~6%, the histogram's stated precision).
+    const auto target_us = static_cast<std::uint64_t>(
+        std::max(1.0, config_.target_latency_ms * 1000.0));
+    const std::uint64_t within = w.latency.count_le(log_bucket(target_us));
+    s.latency_over_fraction =
+        static_cast<double>(w.latency_samples - within) /
+        static_cast<double>(w.latency_samples);
+    s.latency_burn_rate =
+        s.latency_over_fraction / (1.0 - config_.latency_quantile);
+  }
+  s.healthy = s.burn_rate <= 1.0 && s.latency_burn_rate <= 1.0;
+  return s;
+}
+
+}  // namespace vebo::obs

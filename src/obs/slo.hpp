@@ -1,0 +1,64 @@
+// SLO tracking: turn a window snapshot into "are we burning error
+// budget, and how fast".
+//
+// The standard SRE framing: an availability target (say 99.9%) leaves
+// an error budget of 1 - target (0.1% of queries may fail). The burn
+// rate is the windowed error rate divided by that budget — burn 1.0
+// means failing at exactly the sustainable pace, burn 10 means the
+// budget for the period is gone in a tenth of it. The latency SLO works
+// the same way on the quantile target: "p99 <= target_ms" allows
+// (1 - quantile) of samples over the target; latency burn is the
+// observed over-target fraction divided by that allowance.
+//
+// SloTracker is a pure evaluator over WindowSnapshot — no clock, no
+// state, no locks — so the same config can judge live windows (service
+// health), scraped windows (metrics), and synthetic ones (tests).
+#pragma once
+
+#include <cstdint>
+
+#include "obs/window.hpp"
+
+namespace vebo::obs {
+
+struct SloConfig {
+  /// Availability target; the error budget is 1 - this. Must be < 1
+  /// (a 100% target has zero budget and an infinite burn on any error).
+  double target_availability = 0.999;
+  /// Latency SLO: "latency_quantile of queries finish within
+  /// target_latency_ms". 0 disables the latency SLO.
+  double target_latency_ms = 0;
+  double latency_quantile = 0.99;
+  /// Below this many windowed samples there is no verdict: burn rates
+  /// report 0 and healthy stays true (an empty window is not an outage).
+  std::uint64_t min_samples = 32;
+};
+
+struct SloStatus {
+  std::uint64_t samples = 0;  ///< windowed samples the verdict is based on
+  double availability = 1.0;  ///< 1 - windowed error rate
+  double error_budget = 0;    ///< 1 - target_availability
+  /// Windowed error rate / error budget. 0 = clean, 1 = burning at
+  /// exactly the sustainable pace, >1 = outage territory.
+  double burn_rate = 0;
+  /// Fraction of latency samples over target_latency_ms (0 when the
+  /// latency SLO is disabled) and its burn against (1 - quantile).
+  double latency_over_fraction = 0;
+  double latency_burn_rate = 0;
+  /// Both burns <= 1 (or not enough samples for a verdict).
+  bool healthy = true;
+};
+
+class SloTracker {
+ public:
+  explicit SloTracker(SloConfig config = {});
+
+  SloStatus evaluate(const WindowSnapshot& w) const;
+
+  const SloConfig& config() const { return config_; }
+
+ private:
+  SloConfig config_;
+};
+
+}  // namespace vebo::obs

@@ -16,12 +16,63 @@ struct ThreadRing {
   std::uint64_t id = 0;  ///< 0 = not tracing
   std::uint64_t begin_ns = 0;
   std::uint64_t recorded = 0;
+  std::size_t next = 0;  ///< ring write index (== recorded % capacity)
+  /// Sticky begin_reusing() registration: once a thread tail-samples it
+  /// holds ONE unit in the packed armed word until it exits, instead of
+  /// a fetch_add/fetch_sub pair per query — at serving rates those two
+  /// RMWs ping-pong the global cache line across every worker and are
+  /// the single largest telemetry cost. tracing_enabled() therefore
+  /// means "a trace may be active"; the per-thread id check stays the
+  /// source of truth (id == 0 between queries).
+  bool counted = false;
+  /// Trace ids come from g_next_trace_id in blocks so the hot path
+  /// never touches that shared line either.
+  std::uint64_t next_id = 0;
+  std::uint64_t ids_left = 0;
   std::vector<Span> spans;  ///< capacity fixed for the trace lifetime
+
+  ~ThreadRing() {
+    if (counted)
+      detail::g_active_traces.fetch_sub(1, std::memory_order_relaxed);
+  }
 };
 
 thread_local ThreadRing t_ring;
 
 std::atomic<std::uint64_t> g_next_trace_id{1};
+constexpr std::uint64_t kIdBlock = 1024;
+
+/// Hands out a process-unique trace id (never 0) from the thread's
+/// block, refilling from the shared counter once per kIdBlock traces.
+std::uint64_t next_trace_id(ThreadRing& r) {
+  if (r.ids_left == 0) {
+    r.next_id = g_next_trace_id.fetch_add(kIdBlock, std::memory_order_relaxed);
+    r.ids_left = kIdBlock;
+  }
+  --r.ids_left;
+  return r.next_id++;
+}
+
+/// Ring -> Trace span collection shared by end() and end_reusing():
+/// rotate the wrap point out, then stable-sort by start.
+void collect_spans(const ThreadRing& r, Trace& t) {
+  const std::size_t cap = r.spans.size();
+  const std::size_t kept =
+      static_cast<std::size_t>(std::min<std::uint64_t>(r.recorded, cap));
+  t.dropped = r.recorded - kept;
+  t.spans.reserve(kept);
+  // Ring order is completion order. Unwrapped rings hold the survivors
+  // in [0, kept); a wrapped ring's oldest survivor sits at the next
+  // write position (recorded % cap). Rotate the wrap point out, then
+  // sort by start so nested steps read naturally in the export.
+  const std::size_t head = r.recorded > cap ? r.next : 0;
+  for (std::size_t i = 0; i < kept; ++i)
+    t.spans.push_back(r.spans[(head + i) % cap]);
+  std::stable_sort(t.spans.begin(), t.spans.end(),
+                   [](const Span& x, const Span& y) {
+                     return x.start_ns < y.start_ns;
+                   });
+}
 
 /// Cost-model coefficients; armed flag released after the stores so a
 /// predict() that observes armed sees the coefficients.
@@ -75,7 +126,10 @@ bool thread_tracing_slow() { return t_ring.id != 0; }
 void record(const Span& s) {
   ThreadRing& r = t_ring;
   if (r.id == 0 || r.spans.empty()) return;
-  r.spans[r.recorded % r.spans.size()] = s;
+  // Indexed wrap, not modulo: capacity is runtime-chosen, so % would be
+  // an integer divide on every span.
+  r.spans[r.next] = s;
+  if (++r.next == r.spans.size()) r.next = 0;
   ++r.recorded;
 }
 
@@ -94,9 +148,10 @@ std::uint64_t Tracer::begin(std::size_t capacity) {
   ThreadRing& r = t_ring;
   VEBO_CHECK(r.id == 0, "Tracer::begin: this thread is already tracing");
   VEBO_CHECK(capacity >= 1, "Tracer::begin: capacity must be >= 1");
-  r.id = g_next_trace_id.fetch_add(1, std::memory_order_relaxed);
+  r.id = next_trace_id(r);
   r.begin_ns = detail::now_ns();
   r.recorded = 0;
+  r.next = 0;
   r.spans.assign(capacity, Span{});
   detail::g_active_traces.fetch_add(1, std::memory_order_relaxed);
   return r.id;
@@ -112,24 +167,50 @@ Trace Tracer::end() {
   t.begin_ns = r.begin_ns;
   t.end_ns = detail::now_ns();
   t.recorded = r.recorded;
-  const std::size_t cap = r.spans.size();
-  const std::size_t kept = static_cast<std::size_t>(
-      std::min<std::uint64_t>(r.recorded, cap));
-  t.dropped = r.recorded - kept;
-  t.spans.reserve(kept);
-  // Ring order is completion order. Unwrapped rings hold the survivors
-  // in [0, kept); a wrapped ring's oldest survivor sits at the next
-  // write position (recorded % cap). Rotate the wrap point out, then
-  // sort by start so nested steps read naturally in the export.
-  const std::size_t head = r.recorded > cap ? r.recorded % cap : 0;
-  for (std::size_t i = 0; i < kept; ++i)
-    t.spans.push_back(r.spans[(head + i) % cap]);
-  std::stable_sort(t.spans.begin(), t.spans.end(),
-                   [](const Span& x, const Span& y) {
-                     return x.start_ns < y.start_ns;
-                   });
+  collect_spans(r, t);
   r.id = 0;
   r.spans = {};  // release the ring memory
+  return t;
+}
+
+std::uint64_t Tracer::begin_reusing(std::size_t capacity,
+                                    std::uint64_t begin_ns) {
+  ThreadRing& r = t_ring;
+  VEBO_CHECK(r.id == 0,
+             "Tracer::begin_reusing: this thread is already tracing");
+  VEBO_CHECK(capacity >= 1, "Tracer::begin_reusing: capacity must be >= 1");
+  // Reuse the previous round's allocation; stale spans past `recorded`
+  // are never read, so no per-query clear either.
+  if (r.spans.size() != capacity) r.spans.assign(capacity, Span{});
+  r.id = next_trace_id(r);
+  r.begin_ns = begin_ns != 0 ? begin_ns : detail::now_ns();
+  r.recorded = 0;
+  r.next = 0;
+  // Sticky registration (see ThreadRing): pay the shared-word RMW once
+  // per thread, not once per query. The TLS destructor releases it.
+  if (!r.counted) {
+    detail::g_active_traces.fetch_add(1, std::memory_order_relaxed);
+    r.counted = true;
+  }
+  return r.id;
+}
+
+Trace Tracer::end_reusing(bool keep) {
+  ThreadRing& r = t_ring;
+  VEBO_CHECK(r.id != 0, "Tracer::end_reusing: this thread is not tracing");
+  Trace t;
+  t.id = r.id;
+  t.begin_ns = r.begin_ns;
+  t.recorded = r.recorded;
+  if (keep) {
+    // Only the kept minority pays the end stamp and the copy-out; the
+    // dropped trace carries id/begin/census only.
+    t.end_ns = detail::now_ns();
+    collect_spans(r, t);
+  } else {
+    t.end_ns = r.begin_ns;
+  }
+  r.id = 0;  // ring memory retained for the next begin_reusing
   return t;
 }
 
@@ -196,6 +277,76 @@ void arg_str(std::ostringstream& os, bool& first, const char* key,
 
 }  // namespace
 
+namespace detail {
+
+void append_chrome_event(std::ostringstream& os, const Span& s,
+                         std::uint32_t tid, std::uint64_t base_ns) {
+  // Queue-wait spans can start before the base stamp (the wait began at
+  // submit); clamp so timestamps stay non-negative.
+  const std::uint64_t start = s.start_ns >= base_ns ? s.start_ns - base_ns : 0;
+  os << ",{\"name\":\"" << to_string(s.kind) << "\",\"cat\":\""
+     << category(s.kind) << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << tid
+     << ",\"ts\":" << static_cast<double>(start) / 1e3
+     << ",\"dur\":" << static_cast<double>(s.dur_ns) / 1e3 << ",\"args\":{";
+  bool first = true;
+  switch (s.kind) {
+    case SpanKind::EdgeMap:
+    case SpanKind::EdgeApply:
+    case SpanKind::EdgeFold:
+      arg_str(os, first, "direction",
+              s.direction == 2 ? "pull" : (s.direction == 1 ? "push" : "?"));
+      arg_str(os, first, "kernel", to_string(s.variant));
+      arg_str(os, first, "frontier_rep",
+              s.rep == 3 ? "complete"
+                         : (s.rep == 2 ? "dense"
+                                       : (s.rep == 1 ? "sparse" : "n/a")));
+      arg_u64(os, first, "frontier", s.a);
+      if (s.b != kUnknownArg) arg_u64(os, first, "out_edges", s.b);
+      arg_u64(os, first, "dense_threshold", s.c);
+      arg_u64(os, first, "chunks", s.d);
+      if (s.flags & 1) arg_u64(os, first, "early_exit", 1);
+      if (s.flags & 2) arg_u64(os, first, "no_output", 1);
+      break;
+    case SpanKind::Iteration:
+      arg_u64(os, first, "iteration", s.a);
+      arg_u64(os, first, "frontier", s.b);
+      break;
+    case SpanKind::QueueWait: break;
+    case SpanKind::EngineLease:
+    case SpanKind::Execute:
+    case SpanKind::Snapshot:
+    case SpanKind::Publish:
+      arg_u64(os, first, "version", s.a);
+      break;
+    case SpanKind::CacheProbe:
+      arg_str(os, first, "result", s.a != 0 ? "hit" : "miss");
+      break;
+    case SpanKind::Translate:
+      arg_u64(os, first, "payload_vertices", s.a);
+      break;
+    case SpanKind::ApplyBatch:
+      arg_u64(os, first, "inserted", s.a);
+      arg_u64(os, first, "removed", s.b);
+      arg_u64(os, first, "grew_vertices", s.c);
+      break;
+    case SpanKind::Compact: break;
+    case SpanKind::VeboRefine:
+      arg_str(os, first, "action",
+              s.a == 2 ? "full" : (s.a == 1 ? "incremental" : "none"));
+      arg_u64(os, first, "dirty", s.b);
+      break;
+  }
+  if (s.predicted_ns >= 0) {
+    json_kv(os, first, "predicted_us");
+    os << s.predicted_ns / 1e3;
+    json_kv(os, first, "measured_us");
+    os << static_cast<double>(s.dur_ns) / 1e3;
+  }
+  os << "}}";
+}
+
+}  // namespace detail
+
 std::string to_chrome_trace_json(const Trace& t) {
   std::ostringstream os;
   os.precision(3);
@@ -203,74 +354,51 @@ std::string to_chrome_trace_json(const Trace& t) {
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,"
      << "\"args\":{\"name\":\"trace " << t.id << "\"}}";
-  for (const Span& s : t.spans) {
-    // Queue-wait spans can start before the trace begin stamp (the wait
-    // began at submit); clamp so timestamps stay non-negative.
-    const std::uint64_t start =
-        s.start_ns >= t.begin_ns ? s.start_ns - t.begin_ns : 0;
-    os << ",{\"name\":\"" << to_string(s.kind) << "\",\"cat\":\""
-       << category(s.kind) << "\",\"ph\":\"X\",\"pid\":1,\"tid\":1,"
-       << "\"ts\":" << static_cast<double>(start) / 1e3
-       << ",\"dur\":" << static_cast<double>(s.dur_ns) / 1e3 << ",\"args\":{";
-    bool first = true;
-    switch (s.kind) {
-      case SpanKind::EdgeMap:
-      case SpanKind::EdgeApply:
-      case SpanKind::EdgeFold:
-        arg_str(os, first, "direction",
-                s.direction == 2 ? "pull" : (s.direction == 1 ? "push" : "?"));
-        arg_str(os, first, "kernel", to_string(s.variant));
-        arg_str(os, first, "frontier_rep",
-                s.rep == 3 ? "complete"
-                           : (s.rep == 2 ? "dense"
-                                         : (s.rep == 1 ? "sparse" : "n/a")));
-        arg_u64(os, first, "frontier", s.a);
-        if (s.b != kUnknownArg) arg_u64(os, first, "out_edges", s.b);
-        arg_u64(os, first, "dense_threshold", s.c);
-        arg_u64(os, first, "chunks", s.d);
-        if (s.flags & 1) arg_u64(os, first, "early_exit", 1);
-        if (s.flags & 2) arg_u64(os, first, "no_output", 1);
-        break;
-      case SpanKind::Iteration:
-        arg_u64(os, first, "iteration", s.a);
-        arg_u64(os, first, "frontier", s.b);
-        break;
-      case SpanKind::QueueWait: break;
-      case SpanKind::EngineLease:
-      case SpanKind::Execute:
-      case SpanKind::Snapshot:
-      case SpanKind::Publish:
-        arg_u64(os, first, "version", s.a);
-        break;
-      case SpanKind::CacheProbe:
-        arg_str(os, first, "result", s.a != 0 ? "hit" : "miss");
-        break;
-      case SpanKind::Translate:
-        arg_u64(os, first, "payload_vertices", s.a);
-        break;
-      case SpanKind::ApplyBatch:
-        arg_u64(os, first, "inserted", s.a);
-        arg_u64(os, first, "removed", s.b);
-        arg_u64(os, first, "grew_vertices", s.c);
-        break;
-      case SpanKind::Compact: break;
-      case SpanKind::VeboRefine:
-        arg_str(os, first, "action",
-                s.a == 2 ? "full" : (s.a == 1 ? "incremental" : "none"));
-        arg_u64(os, first, "dirty", s.b);
-        break;
-    }
-    if (s.predicted_ns >= 0) {
-      json_kv(os, first, "predicted_us");
-      os << s.predicted_ns / 1e3;
-      json_kv(os, first, "measured_us");
-      os << static_cast<double>(s.dur_ns) / 1e3;
-    }
-    os << "}}";
-  }
+  for (const Span& s : t.spans)
+    detail::append_chrome_event(os, s, /*tid=*/1, t.begin_ns);
   os << "],\"otherData\":{\"trace_id\":\"" << t.id << "\",\"recorded\":\""
      << t.recorded << "\",\"dropped\":\"" << t.dropped << "\"}}";
   return os.str();
+}
+
+// -------------------------------------------------------- TraceStore
+
+TraceStore::TraceStore(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+void TraceStore::push(CapturedTrace t) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  t.seq = ++captured_;
+  ring_.push_back(std::move(t));
+  if (ring_.size() > capacity_) {
+    ring_.pop_front();
+    ++evicted_;
+  }
+}
+
+std::vector<CapturedTrace> TraceStore::recent() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return {ring_.begin(), ring_.end()};
+}
+
+std::size_t TraceStore::size() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return ring_.size();
+}
+
+std::uint64_t TraceStore::captured() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return captured_;
+}
+
+std::uint64_t TraceStore::evicted() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return evicted_;
+}
+
+void TraceStore::clear() {
+  std::lock_guard<std::mutex> lk(mutex_);
+  ring_.clear();
 }
 
 }  // namespace vebo::obs

@@ -43,6 +43,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -132,8 +135,15 @@ struct CostCoefficients {
 
 namespace detail {
 
-/// Count of threads with an active trace. The ONE relaxed load every
-/// disarmed instrumentation site pays.
+/// The packed armed word — still the ONE relaxed load every disarmed
+/// instrumentation site pays. Low bits count threads with an active
+/// begin() trace plus threads sticky-registered for tail sampling
+/// (begin_reusing); kRecorderArmedBit is set
+/// while the process-wide flight recorder is armed. Packing both sinks
+/// into one atomic keeps the PR 7 contract ("disarmed means one relaxed
+/// load") intact with the recorder in the picture: a site checks one
+/// word, then routes to whichever sink is live.
+inline constexpr std::uint32_t kRecorderArmedBit = 1u << 24;
 inline std::atomic<std::uint32_t> g_active_traces{0};
 
 void record(const Span& s);  // appends to the calling thread's ring
@@ -141,12 +151,31 @@ bool thread_tracing_slow();  // TLS check (only called when armed)
 bool predict(double edges, double dests, double sources, double& out_ns);
 std::uint64_t now_ns();
 
+/// One Chrome trace-event "ph":"X" slice for `s` appended to `os`
+/// (timestamps relative to base_ns, clamped non-negative). Shared by
+/// the per-query export and the flight-recorder export so span args are
+/// named identically in both.
+void append_chrome_event(std::ostringstream& os, const Span& s,
+                         std::uint32_t tid, std::uint64_t base_ns);
+
+/// True iff ANY obs sink is armed (a thread tracing somewhere OR the
+/// flight recorder running). The cheap gate for stage-level sites that
+/// feed both sinks; framework sites use tracing_enabled() and stay
+/// recorder-blind (the recorder is stage-granularity only).
+inline bool stages_armed() {
+  return g_active_traces.load(std::memory_order_relaxed) != 0;
+}
+
 }  // namespace detail
 
-/// True iff ANY thread has an active trace — the armed check. One
-/// relaxed atomic load; the per-thread check happens only when armed.
+/// True iff ANY thread MAY have an active trace — the armed check: a
+/// thread with an open begin() trace, or one registered for tail
+/// sampling via begin_reusing() (sticky until thread exit; see
+/// begin_reusing). One relaxed atomic load; the per-thread id check
+/// happens only when armed and stays the source of truth.
 inline bool tracing_enabled() {
-  return detail::g_active_traces.load(std::memory_order_relaxed) != 0;
+  return (detail::g_active_traces.load(std::memory_order_relaxed) &
+          (detail::kRecorderArmedBit - 1)) != 0;
 }
 
 /// The process tracer. All state is per-thread (see file comment); the
@@ -163,6 +192,29 @@ class Tracer {
   /// Ends the calling thread's trace and returns it (spans in start
   /// order). Throws if the thread is not tracing.
   static Trace end();
+
+  /// Tail-sampling variant of begin(): starts a trace but KEEPS the
+  /// thread's ring allocation from the previous begin_reusing() round —
+  /// no per-query allocation, and (unlike begin()) no per-query RMW on
+  /// the shared armed word: the thread registers in the packed word
+  /// once, on its first begin_reusing(), and stays registered until it
+  /// exits. A registered-but-idle thread keeps tracing_enabled() true
+  /// process-wide (sites then fall through on the thread-local id
+  /// check), which is the deliberate trade: one extra TLS load at armed
+  /// sites instead of two globally contended RMWs on EVERY query.
+  /// Pass begin_ns to reuse a stamp the caller already took (e.g. the
+  /// enqueue stamp) instead of reading the clock again; 0 reads it.
+  static std::uint64_t begin_reusing(std::size_t capacity,
+                                     std::uint64_t begin_ns = 0);
+
+  /// Ends a begin_reusing() trace. keep=false is the fast path (the
+  /// overwhelmingly common "query was fine, drop it" outcome): clear
+  /// the thread-local id and return an empty Trace carrying only
+  /// id/begin/ring accounting — no clock read, no RMW, no copy.
+  /// keep=true stamps end_ns and collects the spans exactly like
+  /// end(). Either way the ring memory (and the thread's registration
+  /// in the armed word) is retained for the thread's next round.
+  static Trace end_reusing(bool keep);
 
   /// True iff the CALLING thread has an active trace.
   static bool thread_tracing() {
@@ -251,5 +303,42 @@ class ThreadTrace {
 /// in microseconds relative to the trace begin). Loadable in Perfetto
 /// and chrome://tracing.
 std::string to_chrome_trace_json(const Trace& t);
+
+/// A tail-sampled trace the service decided to keep, with the context
+/// needed to make sense of it without the query object.
+struct CapturedTrace {
+  Trace trace;
+  std::string algo;      ///< registry code of the query
+  /// Why it was kept: "slow" (over the rolling threshold), "deadline",
+  /// "error:<code>" (ServiceError), or "manual".
+  std::string reason;
+  double latency_ms = 0;
+  std::uint64_t version = 0;  ///< epoch it ran on (0 if it never ran)
+  std::uint64_t seq = 0;      ///< capture sequence number (1-based)
+};
+
+/// Bounded ring of recent keeper traces — the tail-sampling sink. Push
+/// evicts the oldest once full; recent() returns oldest-first.
+/// Internally locked: workers push concurrently, anyone may read.
+class TraceStore {
+ public:
+  explicit TraceStore(std::size_t capacity = 32);
+
+  void push(CapturedTrace t);
+  std::vector<CapturedTrace> recent() const;
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  /// Traces ever pushed (monotonic; captured() - evicted() = size()).
+  std::uint64_t captured() const;
+  std::uint64_t evicted() const;
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::deque<CapturedTrace> ring_;
+  std::uint64_t captured_ = 0;
+  std::uint64_t evicted_ = 0;
+};
 
 }  // namespace vebo::obs

@@ -1,0 +1,117 @@
+// Sliding-window aggregation over served-query outcomes: "what is the
+// error rate RIGHT NOW", not since process start.
+//
+// The cumulative counters in metrics.hpp answer trajectory questions;
+// operations needs windowed ones — current qps, per-error-code rate,
+// and latency quantiles over the last few seconds. SlidingWindow keeps
+// a ring of rotating sub-window buckets (default 10 x 1s): record()
+// lands a sample in the bucket its timestamp falls in, expired buckets
+// are cleared as time advances, and snapshot() merges the live buckets
+// into one consistent view. Latencies go through the same
+// log_bucket(us) encoding the cumulative histograms use (6% relative
+// resolution, bounded bins), per algorithm code and overall, via
+// WindowedHistogram so sub-window expiry and quantile math stay in
+// support/histogram.
+//
+// Time is always passed in by the caller (steady-clock nanoseconds,
+// obs::Tracer::now_ns()), never read internally — windows are exactly
+// testable by driving fake timestamps. Thread-safe; one mutex, held for
+// O(buckets) on rotation and O(bins) on snapshot. The serve fast path
+// calls record() once per settled query, which is far off the
+// step-granularity budget the tracing contract guards.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/histogram.hpp"
+
+namespace vebo::obs {
+
+struct WindowOptions {
+  /// Sub-window count; the horizon is buckets x bucket_ns.
+  std::size_t buckets = 10;
+  std::uint64_t bucket_ns = 1'000'000'000;  ///< 1s sub-windows
+  /// Width of the per-error-code counters (index space of `code` in
+  /// record()); serve passes kNumErrorCodes.
+  std::size_t error_codes = 8;
+};
+
+/// Windowed quantiles for one algorithm code.
+struct AlgoWindowStats {
+  std::string algo;
+  std::uint64_t samples = 0;
+  double p50_ms = 0, p95_ms = 0, p99_ms = 0;
+};
+
+/// One consistent view of the window (all fields from the same locked
+/// pass). `latency` is over log_bucket(us) ids — decode quantiles with
+/// log_bucket_floor, or use the pre-decoded p50/p95/p99 here.
+struct WindowSnapshot {
+  double window_s = 0;        ///< horizon the rates are normalized over
+  std::uint64_t total = 0;    ///< settled queries in the window
+  std::uint64_t errors = 0;
+  double qps = 0;             ///< total / window_s
+  double error_rate = 0;      ///< errors / total (0 when empty)
+  std::vector<std::uint64_t> errors_by_code;
+  Histogram latency;          ///< merged window histogram (bucket ids)
+  std::uint64_t latency_samples = 0;
+  double p50_ms = 0, p95_ms = 0, p99_ms = 0;
+  std::vector<AlgoWindowStats> per_algo;
+};
+
+class SlidingWindow {
+ public:
+  /// `code` value meaning "success" in record().
+  static constexpr std::size_t kOk = ~std::size_t{0};
+
+  explicit SlidingWindow(WindowOptions opts = {});
+
+  /// Records one settled query. `latency_ms` < 0 skips the latency
+  /// histograms (rejections have no meaningful latency but must still
+  /// count toward the error rate). `code` indexes errors_by_code, or
+  /// kOk for a success.
+  void record(std::uint64_t now_ns, const std::string& algo,
+              double latency_ms, std::size_t code = kOk);
+
+  /// Advances the window to `now_ns` and merges the live buckets.
+  WindowSnapshot snapshot(std::uint64_t now_ns) const;
+
+  const WindowOptions& options() const { return opts_; }
+
+ private:
+  struct Bucket {
+    std::uint64_t total = 0;
+    std::uint64_t errors = 0;
+    std::vector<std::uint64_t> by_code;
+  };
+
+  /// Clears buckets the window slid past; lockstep-rotates the latency
+  /// histograms. Caller holds mutex_.
+  void advance(std::uint64_t now_ns) const;
+
+  WindowOptions opts_;
+  mutable std::mutex mutex_;
+  /// Ring slot for absolute bucket index i is buckets_[i % buckets].
+  /// advance() eagerly clears every slot the window slides past, so all
+  /// slots always hold in-window data and snapshot() just sums them.
+  mutable std::vector<Bucket> buckets_;
+  mutable std::uint64_t cur_index_ = 0;
+  /// Current bucket's ring slot and ns range, maintained by advance():
+  /// the per-record fast path is one compare against cur_end_ns_ and a
+  /// direct slot access — the three integer divisions (advance + ring
+  /// indexing) only run when a bucket boundary is actually crossed.
+  mutable std::size_t cur_slot_ = 0;
+  mutable std::uint64_t cur_start_ns_ = 0;
+  mutable std::uint64_t cur_end_ns_ = 0;
+  mutable WindowedHistogram latency_;
+  /// Flat (algo, histogram) pairs, linear-searched: the record path
+  /// sees a handful of live algorithms, so a size-first string == scan
+  /// beats a node-walking map find on every settled query.
+  mutable std::vector<std::pair<std::string, WindowedHistogram>> per_algo_;
+};
+
+}  // namespace vebo::obs

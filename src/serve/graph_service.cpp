@@ -41,7 +41,16 @@ GraphService::GraphService(SnapshotStore& store, GraphServiceOptions opts)
         eopts.max_engines = std::max(eopts.max_engines, opts.workers);
         return eopts;
       }()),
-      cache_(opts.cache_capacity) {
+      cache_(opts.cache_capacity),
+      slo_(opts.telemetry.slo),
+      trace_store_(opts.telemetry.trace_store_capacity) {
+  if (opts_.telemetry.window) {
+    // The per-code dimension always matches this service's error codes;
+    // callers tune bucket count/width only.
+    obs::WindowOptions wopts = opts_.telemetry.window_opts;
+    wopts.error_codes = kNumErrorCodes;
+    window_ = std::make_unique<obs::SlidingWindow>(wopts);
+  }
   VEBO_CHECK(opts_.workers >= 1, "GraphService: workers must be >= 1");
   VEBO_CHECK(opts_.queue_capacity >= 1,
              "GraphService: queue_capacity must be >= 1");
@@ -77,9 +86,10 @@ Submission GraphService::submit(Query q) {
                           std::chrono::microseconds(static_cast<std::int64_t>(
                               q.deadline_ms * 1000.0)));
   if (q.cancel.can_be_cancelled()) item.ctx.set_cancel_token(q.cancel);
-  // Traced queries stamp their enqueue time for the queue-wait span;
-  // untraced submits skip even the clock read.
-  if (q.trace) item.enqueued_ns = obs::Tracer::now_ns();
+  // The enqueue stamp reuses the admission Timer's start (same steady
+  // epoch) — no clock read, so it is unconditional. Whether anything
+  // consumes it (queue-wait span, trace base) is decided at pickup.
+  item.enqueued_ns = item.submitted.start_ns();
   item.q = std::move(q);
   sub.result = item.promise.get_future();
   // Ledger discipline (see GraphServiceStats): a query enters the books
@@ -123,22 +133,30 @@ Submission GraphService::submit(Query q) {
       sub.status = SubmitStatus::Accepted;
       return sub;
     }
-    std::lock_guard<std::mutex> lk(stats_mutex_);
-    --stats_.in_flight;
-    ++stats_.rejected;
-    ++stats_.errors_by_code[code_index(ErrorCode::Overloaded)];
+    {
+      std::lock_guard<std::mutex> lk(stats_mutex_);
+      --stats_.in_flight;
+      ++stats_.rejected;
+      ++stats_.errors_by_code[code_index(ErrorCode::Overloaded)];
+    }
+    // Rejections count toward the windowed error rate (they ARE client-
+    // visible failures) but carry no latency sample.
+    observe_settled(item.q.algo, -1.0, code_index(ErrorCode::Overloaded));
     sub.result = {};  // rejected submissions carry no future
     return sub;
   }
   if (sub.status == SubmitStatus::Accepted) {
     queue_cv_.notify_one();
   } else {
-    std::lock_guard<std::mutex> lk(stats_mutex_);
-    ++stats_.submitted;
-    ++stats_.rejected;
-    // Rejections carry no future, so the code lands in the counter
-    // only (nothing to attach a ServiceError to).
-    ++stats_.errors_by_code[code_index(ErrorCode::Overloaded)];
+    {
+      std::lock_guard<std::mutex> lk(stats_mutex_);
+      ++stats_.submitted;
+      ++stats_.rejected;
+      // Rejections carry no future, so the code lands in the counter
+      // only (nothing to attach a ServiceError to).
+      ++stats_.errors_by_code[code_index(ErrorCode::Overloaded)];
+    }
+    observe_settled(item.q.algo, -1.0, code_index(ErrorCode::Overloaded));
     sub.result = {};  // rejected submissions carry no future
     return sub;
   }
@@ -165,14 +183,24 @@ QueryResult GraphService::query(Query q, RetryPolicy retry) {
 std::uint64_t GraphService::publish(
     std::shared_ptr<const Graph> graph, order::Partitioning partitioning,
     std::shared_ptr<const Permutation> perm) {
-  // Stream-path span (writer thread): covers the store publish AND the
-  // cache invalidation/rotation that makes the epoch visible.
-  obs::SpanScope span(obs::SpanKind::Publish);
-  const std::uint64_t v =
-      store_.publish(std::move(graph), std::move(partitioning),
-                     std::move(perm));
-  if (span.live()) span.span().a = v;
-  invalidate_cache(v);
+  // Stream-path stage span (writer thread): covers the store publish
+  // AND the cache invalidation/rotation that makes the epoch visible.
+  // StageScope, not SpanScope: the flight recorder sees publishes too.
+  Timer wall;
+  std::uint64_t v = 0;
+  {
+    obs::StageScope span(obs::SpanKind::Publish);
+    v = store_.publish(std::move(graph), std::move(partitioning),
+                       std::move(perm));
+    if (span.live()) span.span().a = v;
+    invalidate_cache(v);
+  }
+  // Anomaly trigger: a stalled publish means readers are pinned to an
+  // aging epoch — exactly the moment to freeze the black box.
+  if (wall.elapsed_ms() >= opts_.telemetry.anomaly_publish_stall_ms) {
+    obs::FlightRecorder& rec = obs::FlightRecorder::instance();
+    if (rec.armed()) rec.trigger("publish-stall");
+  }
   return v;
 }
 
@@ -210,10 +238,16 @@ void GraphService::worker_loop(std::size_t worker_idx) {
     }
     // Heartbeat: busy from pickup to promise resolution, so
     // health().oldest_running_ms sees queue-stall and run time alike.
-    ws.busy_since_us.store(steady_now_us(), std::memory_order_release);
+    ws.pickup_us = steady_now_us();
+    ws.busy_since_us.store(ws.pickup_us, std::memory_order_release);
     // Chaos hook: a stalled worker between pickup and execution — the
     // window where deadlines lapse after the queue check would pass.
-    FaultInjector::instance().delay_point(FaultInjector::Hook::WorkerStall);
+    // The in-flight heartbeat keeps the pre-stall stamp (health must
+    // see the age grow), but the telemetry pickup stamp moves past the
+    // stall so the kept trace attributes it to queue-side wait.
+    if (FaultInjector::instance().delay_point(
+            FaultInjector::Hook::WorkerStall))
+      ws.pickup_us = steady_now_us();
     process(item, ws);
     ws.processed.fetch_add(1, std::memory_order_relaxed);
     ws.busy_since_us.store(-1, std::memory_order_release);
@@ -221,6 +255,39 @@ void GraphService::worker_loop(std::size_t worker_idx) {
 }
 
 void GraphService::process(Item& item, WorkerState& ws) {
+  // Arm the worker's trace BEFORE the shed checks: a shed query's
+  // capture (queue-wait only) is still forensics — it shows the wait
+  // that killed it. Opt-in tracing (Query::trace) uses the full-size
+  // RAII trace and returns the spans on the result; tail sampling uses
+  // the thread's reusable ring and settles at completion (keep into
+  // trace_store_ or drop). Mutually exclusive by construction.
+  std::optional<obs::ThreadTrace> trace;
+  const bool sampling = !item.q.trace && opts_.telemetry.tail_sampling;
+  if (item.q.trace)
+    trace.emplace();
+  else if (sampling)
+    // Reuse the enqueue stamp as the trace base: saves a clock read per
+    // query and lines the queue-wait span up at t=0 in the export.
+    obs::Tracer::begin_reusing(opts_.telemetry.sample_ring_capacity,
+                               item.enqueued_ns);
+  // The armed path pays NO extra clock read here: the worker loop
+  // already stamped pickup for the in-flight heartbeat, so the
+  // queue-wait end (which doubles as the cache-probe start below; the
+  // probe's end on a hit is derived from the completion latency) is
+  // that same stamp, clamped against sub-microsecond truncation.
+  std::uint64_t pickup_ns = 0;
+  if (item.enqueued_ns != 0 && obs::stage_wanted()) {
+    // The wait already happened, so record it with explicit stamps (its
+    // start predates the trace; the exporter clamps). record_stage
+    // routes it to the thread's trace AND the flight recorder.
+    pickup_ns = std::max(
+        item.enqueued_ns, static_cast<std::uint64_t>(ws.pickup_us) * 1000);
+    obs::Span s;
+    s.kind = obs::SpanKind::QueueWait;
+    s.start_ns = item.enqueued_ns;
+    s.dur_ns = pickup_ns - item.enqueued_ns;
+    obs::record_stage(s);
+  }
   // Shed before execution: a queued query whose client already gave up
   // (cancel fired / deadline lapsed) must fail fast — no snapshot pin,
   // no engine lease, no run.
@@ -229,7 +296,7 @@ void GraphService::process(Item& item, WorkerState& ws) {
       std::lock_guard<std::mutex> lk(stats_mutex_);
       ++stats_.shed_cancelled;
     }
-    fail(item, ErrorCode::Cancelled, "query cancelled while queued");
+    fail(item, ErrorCode::Cancelled, "query cancelled while queued", sampling);
     return;
   }
   if (item.ctx.deadline_expired()) {
@@ -239,28 +306,18 @@ void GraphService::process(Item& item, WorkerState& ws) {
     }
     // Deadline pressure is exactly what stale-serve degrades under: a
     // previous-epoch answer now beats a typed failure.
-    if (try_serve_stale(item, &ws)) return;
-    fail(item, ErrorCode::DeadlineExceeded,
-         "query deadline expired while queued (shed before execution)");
-    return;
-  }
-  // Opt-in tracing: arm this worker thread for the run. Everything the
-  // query does from here — the serve-path spans below, every framework
-  // step inside spec->run — records into this trace and nobody else's
-  // (rings are per-thread). A failed run discards the trace via RAII.
-  std::optional<obs::ThreadTrace> trace;
-  if (item.q.trace) {
-    trace.emplace();
-    if (item.enqueued_ns != 0) {
-      // The wait already happened, so record it with explicit stamps
-      // (its start predates the trace; the exporter clamps).
-      obs::Span s;
-      s.kind = obs::SpanKind::QueueWait;
-      s.start_ns = item.enqueued_ns;
-      const std::uint64_t now = obs::Tracer::now_ns();
-      s.dur_ns = now > item.enqueued_ns ? now - item.enqueued_ns : 0;
-      obs::Tracer::record(s);
+    if (try_serve_stale(item, &ws)) {
+      // Served after all: settle the sample as a success (the stale
+      // answer was fast; the shed wait is what the window already saw).
+      if (sampling)
+        settle_sample(item, item.submitted.elapsed_ms(), /*ok=*/true,
+                      ErrorCode::DeadlineExceeded, 0);
+      return;
     }
+    fail(item, ErrorCode::DeadlineExceeded,
+         "query deadline expired while queued (shed before execution)",
+         sampling);
+    return;
   }
   try {
     QueryResult r;
@@ -306,8 +363,17 @@ void GraphService::process(Item& item, WorkerState& ws) {
     const CacheKey key = CacheKey::make(spec->code, norm);
     const bool want_payload = item.q.result == ResultKind::Payload;
     bool hit = false;
+    // Probe span stamps by hand, not StageScope: the start reuses the
+    // pickup read, and a HIT's end is derived from the completion
+    // latency (recorded below, once latency is known) — zero extra
+    // clock reads on the cache-hit hot path. A miss pays one read here,
+    // noise next to the execution that follows.
+    std::uint64_t probe_start = 0;
     if (opts_.enable_cache) {
-      obs::SpanScope probe(obs::SpanKind::CacheProbe);
+      if (pickup_ns != 0)
+        probe_start = pickup_ns;
+      else if (obs::stage_wanted())
+        probe_start = obs::Tracer::now_ns();
       {
         std::lock_guard<std::mutex> lk(cache_mutex_);
         if (cache_version_ == snap.version()) {
@@ -318,7 +384,15 @@ void GraphService::process(Item& item, WorkerState& ws) {
           }
         }
       }
-      if (probe.live()) probe.span().a = hit ? 1 : 0;
+      if (probe_start != 0 && !hit) {
+        obs::Span s;
+        s.kind = obs::SpanKind::CacheProbe;
+        s.start_ns = probe_start;
+        const std::uint64_t now = obs::Tracer::now_ns();
+        s.dur_ns = now > probe_start ? now - probe_start : 0;
+        s.a = 0;
+        obs::record_stage(s);
+      }
     }
     if (!hit) {
       // Execution-space params: the source translated to its snapshot
@@ -326,10 +400,10 @@ void GraphService::process(Item& item, WorkerState& ws) {
       // translated once, here in the worker — never under the cache lock.
       algo::QueryParams exec = norm;
       if (takes_source) exec.set("source", source);
-      // Lease span with explicit stamps (a SpanScope would have to
+      // Lease span with explicit stamps (a scoped span would have to
       // outlive this statement or force a move of the lease).
       const std::uint64_t lease_start =
-          obs::Tracer::thread_tracing() ? obs::Tracer::now_ns() : 0;
+          obs::stage_wanted() ? obs::Tracer::now_ns() : 0;
       EnginePool::Lease lease = pool_.lease(snap);
       if (lease_start != 0) {
         obs::Span s;
@@ -337,7 +411,7 @@ void GraphService::process(Item& item, WorkerState& ws) {
         s.start_ns = lease_start;
         s.dur_ns = obs::Tracer::now_ns() - lease_start;
         s.a = snap.version();
-        obs::Tracer::record(s);
+        obs::record_stage(s);
       }
       // Chaos hook: a query that fails after the lease was taken — the
       // lease must come back via RAII (invariant: outstanding() drains
@@ -346,7 +420,7 @@ void GraphService::process(Item& item, WorkerState& ws) {
           FaultInjector::Hook::QueryThrow, "query execution");
       algo::QueryPayload payload;
       {
-        obs::SpanScope run(obs::SpanKind::Execute);
+        obs::StageScope run(obs::SpanKind::Execute);
         if (run.live()) run.span().a = snap.version();
         // Bind the query's context for the duration of the run: the
         // framework entry points and the algorithms' hand-rolled loops
@@ -360,7 +434,7 @@ void GraphService::process(Item& item, WorkerState& ws) {
       lease.release();
       std::shared_ptr<const algo::QueryPayload> shared;
       {
-        obs::SpanScope tr(obs::SpanKind::Translate);
+        obs::StageScope tr(obs::SpanKind::Translate);
         if (tr.live()) {
           std::uint64_t nvert = 0;
           switch (payload.kind()) {
@@ -427,6 +501,22 @@ void GraphService::process(Item& item, WorkerState& ws) {
     }
     r.cache_hit = hit;
     r.latency_ms = item.submitted.elapsed_ms();
+    // Completion stamp derived from the latency read above; the hit
+    // probe span and the window record reuse it rather than reading the
+    // clock twice more on the hot path.
+    const std::uint64_t settled_ns =
+        item.enqueued_ns +
+        static_cast<std::uint64_t>(r.latency_ms * 1e6);
+    if (hit && probe_start != 0) {
+      // The hit probe span closes at completion (lookup through the
+      // books); `a = 1` marks the hit.
+      obs::Span s;
+      s.kind = obs::SpanKind::CacheProbe;
+      s.start_ns = probe_start;
+      s.dur_ns = settled_ns > probe_start ? settled_ns - probe_start : 0;
+      s.a = 1;
+      obs::record_stage(s);
+    }
     record(r.latency_ms, &ws);
     {
       std::lock_guard<std::mutex> lk(stats_mutex_);
@@ -435,8 +525,14 @@ void GraphService::process(Item& item, WorkerState& ws) {
       if (hit) ++stats_.cache_hits;
     }
     // Close the trace before resolving the promise so the client's
-    // future carries the complete span set.
+    // future carries the complete span set. Tail samples settle here
+    // too: keep iff over the rolling threshold, drop otherwise.
     if (trace) r.trace = std::make_shared<const obs::Trace>(trace->finish());
+    if (sampling)
+      settle_sample(item, r.latency_ms, /*ok=*/true, ErrorCode::Internal,
+                    r.version);
+    observe_settled(item.q.algo, r.latency_ms, obs::SlidingWindow::kOk,
+                    settled_ns);
     item.promise.set_value(r);
   } catch (const ServiceError& e) {
     // Already typed: count the code and hand the original object on.
@@ -446,34 +542,139 @@ void GraphService::process(Item& item, WorkerState& ws) {
       --stats_.in_flight;
       ++stats_.errors_by_code[code_index(e.code())];
     }
+    const double lat_ms = item.submitted.elapsed_ms();
+    if (sampling) settle_sample(item, lat_ms, /*ok=*/false, e.code(), 0);
+    observe_settled(item.q.algo, lat_ms, code_index(e.code()));
     item.promise.set_exception(std::current_exception());
   } catch (const CancelledError& e) {
     // Cooperative checkpoint fired mid-run (within one superstep of the
     // cancel); retype so clients branch on code().
-    fail(item, ErrorCode::Cancelled, e.what());
+    fail(item, ErrorCode::Cancelled, e.what(), sampling);
   } catch (const DeadlineExceededError& e) {
-    fail(item, ErrorCode::DeadlineExceeded, e.what());
+    fail(item, ErrorCode::DeadlineExceeded, e.what(), sampling);
   } catch (const std::exception& e) {
     // Algorithm throw, translation failure, allocation failure, injected
     // fault — anything that escaped the run. The engine lease and the
     // snapshot pin were released by RAII on the unwind.
-    fail(item, ErrorCode::Internal, e.what());
+    fail(item, ErrorCode::Internal, e.what(), sampling);
   } catch (...) {
-    fail(item, ErrorCode::Internal, "unknown exception");
+    fail(item, ErrorCode::Internal, "unknown exception", sampling);
   }
 }
 
-void GraphService::fail(Item& item, ErrorCode code, const std::string& what) {
+void GraphService::fail(Item& item, ErrorCode code, const std::string& what,
+                        bool sampled) {
   {
     std::lock_guard<std::mutex> lk(stats_mutex_);
     ++stats_.failed;
     --stats_.in_flight;
     ++stats_.errors_by_code[code_index(code)];
   }
+  const double lat_ms = item.submitted.elapsed_ms();
+  // Failures always keep their tail sample — a failed query IS the
+  // forensic case tail sampling exists for.
+  if (sampled) settle_sample(item, lat_ms, /*ok=*/false, code, 0);
+  observe_settled(item.q.algo, lat_ms, code_index(code));
   // set_exception, not throw: the worker thread must survive the failure
   // and the client must see it — exactly once each.
   item.promise.set_exception(
       std::make_exception_ptr(ServiceError(code, what)));
+}
+
+void GraphService::settle_sample(Item& item, double latency_ms, bool ok,
+                                 ErrorCode code, std::uint64_t version) {
+  if (!obs::Tracer::thread_tracing()) return;  // never double-settle
+  bool keep = false;
+  std::string reason;
+  if (!ok) {
+    keep = true;
+    reason = code == ErrorCode::DeadlineExceeded
+                 ? "deadline"
+                 : std::string("error:") + to_string(code);
+  } else {
+    const std::uint64_t thr =
+        keep_threshold_us_.load(std::memory_order_relaxed);
+    if (thr != kNoThreshold &&
+        latency_ms * 1000.0 > static_cast<double>(thr)) {
+      keep = true;
+      reason = "slow";
+    }
+  }
+  // keep=false is the hot path: disarm, retain the ring, copy nothing.
+  obs::Trace t = obs::Tracer::end_reusing(keep);
+  if (!keep) return;
+  obs::CapturedTrace ct;
+  ct.trace = std::move(t);
+  ct.algo = item.q.algo;
+  ct.reason = std::move(reason);
+  ct.latency_ms = latency_ms;
+  ct.version = version;
+  trace_store_.push(std::move(ct));
+}
+
+void GraphService::observe_settled(const std::string& algo, double latency_ms,
+                                   std::size_t code, std::uint64_t now_ns) {
+  if (window_ == nullptr) return;
+  // Hot callers pass the stamp they already derived; rare paths
+  // (failures, rejections) let us read the clock here.
+  const std::uint64_t now = now_ns != 0 ? now_ns : obs::Tracer::now_ns();
+  window_->record(now, algo, latency_ms, code);
+  maybe_monitor(now);
+}
+
+void GraphService::maybe_monitor(std::uint64_t now_ns) {
+  const auto now_us = static_cast<std::int64_t>(now_ns / 1000);
+  std::int64_t last = last_monitor_us_.load(std::memory_order_relaxed);
+  // The interval is a steady-state rate limit, not a cold-start delay:
+  // while the keep threshold is still "failures only" the window hasn't
+  // produced keep_min_samples of evidence yet, so re-evaluate on every
+  // settle — the first settle past the minimum arms slow-keep. A burst
+  // shorter than the interval must not leave the whole run unarmed.
+  const bool cold =
+      keep_threshold_us_.load(std::memory_order_relaxed) == kNoThreshold;
+  if (last != 0 && !cold &&
+      static_cast<double>(now_us - last) <
+          opts_.telemetry.monitor_interval_ms * 1000.0)
+    return;
+  // One winner per interval; losers skip (the winner's pass covers them).
+  if (!last_monitor_us_.compare_exchange_strong(last, now_us,
+                                                std::memory_order_relaxed))
+    return;
+  const obs::WindowSnapshot w = window_->snapshot(now_ns);
+  // Rolling tail-sampling keep threshold: windowed p99 x factor with an
+  // absolute floor; "failures only" until the window has evidence.
+  if (w.latency_samples >= opts_.telemetry.keep_min_samples) {
+    const double thr_ms =
+        std::max(w.p99_ms * opts_.telemetry.keep_latency_factor,
+                 opts_.telemetry.keep_min_ms);
+    keep_threshold_us_.store(static_cast<std::uint64_t>(thr_ms * 1000.0),
+                             std::memory_order_relaxed);
+  } else {
+    keep_threshold_us_.store(kNoThreshold, std::memory_order_relaxed);
+  }
+  // Anomaly triggers -> the process flight recorder (rate-limited there).
+  obs::FlightRecorder& rec = obs::FlightRecorder::instance();
+  if (!rec.armed()) return;
+  if (w.total >= opts_.telemetry.anomaly_min_samples &&
+      w.error_rate >= opts_.telemetry.anomaly_error_rate)
+    rec.trigger("error-rate-spike");
+  if (oldest_running_ms_now() >= opts_.telemetry.anomaly_in_flight_age_ms)
+    rec.trigger("in-flight-age");
+}
+
+double GraphService::oldest_running_ms_now() const {
+  const std::int64_t now_us = steady_now_us();
+  double oldest = 0;
+  for (const auto& ws : worker_state_) {
+    const std::int64_t since =
+        ws->busy_since_us.load(std::memory_order_acquire);
+    if (since >= 0)
+      oldest = std::max(
+          oldest,
+          static_cast<double>(std::max<std::int64_t>(0, now_us - since)) /
+              1000.0);
+  }
+  return oldest;
 }
 
 bool GraphService::try_serve_stale(Item& item, WorkerState* ws) {
@@ -514,6 +715,8 @@ bool GraphService::try_serve_stale(Item& item, WorkerState* ws) {
     ++stats_.stale_served;
     --stats_.in_flight;
   }
+  // A stale answer is a success to the client; the window sees it as one.
+  observe_settled(item.q.algo, r.latency_ms, obs::SlidingWindow::kOk);
   item.promise.set_value(r);
   return true;
 }
@@ -569,6 +772,24 @@ ServiceHealth GraphService::health() const {
     }
     h.workers.push_back(w);
   }
+  if (window_ != nullptr) {
+    const obs::WindowSnapshot w = window_->snapshot(obs::Tracer::now_ns());
+    h.window_samples = w.total;
+    h.window_qps = w.qps;
+    h.window_error_rate = w.error_rate;
+    h.window_p50_ms = w.p50_ms;
+    h.window_p95_ms = w.p95_ms;
+    h.window_p99_ms = w.p99_ms;
+    const obs::SloStatus s = slo_.evaluate(w);
+    h.availability = s.availability;
+    h.burn_rate = s.burn_rate;
+    h.latency_burn_rate = s.latency_burn_rate;
+    h.slo_healthy = s.healthy;
+  }
+  h.traces_captured = trace_store_.captured();
+  const std::uint64_t thr = keep_threshold_us_.load(std::memory_order_relaxed);
+  h.slow_keep_threshold_ms =
+      thr == kNoThreshold ? 0 : static_cast<double>(thr) / 1000.0;
   return h;
 }
 
@@ -728,6 +949,60 @@ void GraphService::collect_metrics(std::vector<obs::MetricSample>& out) const {
        ls.mean_ms * static_cast<double>(ls.samples));
   emit(MetricType::Gauge, "vebo_service_latency_ms_count",
        "latency samples recorded", static_cast<double>(ls.samples));
+
+  // The always-on window (PR 8): what is happening RIGHT NOW, next to
+  // the cumulative trajectory above. Names end in _window so dashboards
+  // can't confuse a 10-second rate with a since-boot counter.
+  if (window_ != nullptr) {
+    const obs::WindowSnapshot w = window_->snapshot(obs::Tracer::now_ns());
+    const obs::SloStatus slo = slo_.evaluate(w);
+    emit(MetricType::Gauge, "vebo_service_qps_window",
+         "settled queries per second over the sliding window", w.qps);
+    emit(MetricType::Gauge, "vebo_service_error_rate_window",
+         "windowed error fraction of settled queries", w.error_rate);
+    emit(MetricType::Gauge, "vebo_service_window_samples",
+         "settled queries inside the sliding window",
+         static_cast<double>(w.total));
+    for (std::size_t i = 0; i < kNumErrorCodes && i < w.errors_by_code.size();
+         ++i)
+      emit(MetricType::Gauge, "vebo_service_errors_window",
+           "windowed failures by ServiceError code",
+           static_cast<double>(w.errors_by_code[i]),
+           {{"code", to_string(static_cast<ErrorCode>(i))}});
+    const char* wlat_help = "windowed latency quantiles";
+    emit(MetricType::Summary, "vebo_service_latency_ms_window", wlat_help,
+         w.p50_ms, {{"quantile", "0.5"}});
+    emit(MetricType::Summary, "vebo_service_latency_ms_window", wlat_help,
+         w.p95_ms, {{"quantile", "0.95"}});
+    emit(MetricType::Summary, "vebo_service_latency_ms_window", wlat_help,
+         w.p99_ms, {{"quantile", "0.99"}});
+    for (const obs::AlgoWindowStats& a : w.per_algo) {
+      const char* alat_help = "windowed latency quantiles per algorithm";
+      emit(MetricType::Summary, "vebo_algo_latency_ms_window", alat_help,
+           a.p50_ms, {{"algo", a.algo}, {"quantile", "0.5"}});
+      emit(MetricType::Summary, "vebo_algo_latency_ms_window", alat_help,
+           a.p99_ms, {{"algo", a.algo}, {"quantile", "0.99"}});
+    }
+    emit(MetricType::Gauge, "vebo_slo_availability_window",
+         "1 - windowed error rate", slo.availability);
+    emit(MetricType::Gauge, "vebo_slo_burn_rate",
+         "windowed error rate / error budget (1.0 = sustainable pace)",
+         slo.burn_rate);
+    emit(MetricType::Gauge, "vebo_slo_latency_burn_rate",
+         "over-target latency fraction / allowed fraction",
+         slo.latency_burn_rate);
+  }
+
+  // Tail sampling + flight recorder activity.
+  emit(MetricType::Counter, "vebo_traces_captured_total",
+       "tail-sampled traces kept (slow / deadline / failed)",
+       static_cast<double>(trace_store_.captured()));
+  emit(MetricType::Gauge, "vebo_traces_stored",
+       "keeper traces resident in the trace store",
+       static_cast<double>(trace_store_.size()));
+  emit(MetricType::Counter, "vebo_recorder_dumps_total",
+       "flight-recorder dumps taken (process-wide)",
+       static_cast<double>(obs::FlightRecorder::instance().dumps()));
 }
 
 }  // namespace vebo::serve

@@ -76,7 +76,10 @@
 #include "framework/cancel.hpp"
 #include "graph/permute.hpp"
 #include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
+#include "obs/window.hpp"
 #include "serve/engine_pool.hpp"
 #include "serve/result_cache.hpp"
 #include "serve/service_error.hpp"
@@ -86,6 +89,48 @@
 #include "support/timer.hpp"
 
 namespace vebo::serve {
+
+/// Always-on telemetry (the PR 8 layer). Everything here defaults ON —
+/// this is the production configuration whose cost bench_obs_overhead
+/// budgets at <=3% on both guarded op points.
+struct TelemetryOptions {
+  /// Tail sampling: EVERY query runs under a reusable per-worker trace
+  /// ring (no per-query allocation); at completion the service decides
+  /// keep or drop. Kept into trace_store(): queries slower than the
+  /// rolling threshold (windowed p99 x keep_latency_factor, floored at
+  /// keep_min_ms), deadline hits, and ServiceError failures. Dropped:
+  /// everything else, for the cost of a few clock reads. Explicit
+  /// Query::trace still wins (full-size ring, trace on the result).
+  bool tail_sampling = true;
+  std::size_t sample_ring_capacity = 4096;
+  std::size_t trace_store_capacity = 32;
+  double keep_latency_factor = 3.0;
+  /// Absolute floor for the slow-keep threshold so cache-hit jitter on
+  /// a microsecond-scale p99 cannot flood the store.
+  double keep_min_ms = 1.0;
+  /// Until the window holds this many latency samples there is no p99
+  /// worth multiplying: only failures are kept.
+  std::uint64_t keep_min_samples = 50;
+  /// Sliding-window monitoring: qps, per-ErrorCode error rate, latency
+  /// quantiles per algorithm over the last buckets x bucket_ns. Feeds
+  /// health(), the *_window metric gauges, and the SLO burn rate.
+  bool window = true;
+  /// error_codes is overridden with kNumErrorCodes at construction.
+  obs::WindowOptions window_opts;
+  obs::SloConfig slo;
+  /// Completion-time monitoring cadence: the rolling keep threshold and
+  /// the anomaly checks run at most once per this interval.
+  double monitor_interval_ms = 100;
+  /// Anomaly triggers for the process flight recorder (no-ops unless
+  /// obs::FlightRecorder::instance() is armed): windowed error rate >=
+  /// anomaly_error_rate over >= anomaly_min_samples, or an in-flight
+  /// query older than anomaly_in_flight_age_ms. The publish path
+  /// triggers on a publish slower than anomaly_publish_stall_ms.
+  double anomaly_error_rate = 0.5;
+  std::uint64_t anomaly_min_samples = 20;
+  double anomaly_in_flight_age_ms = 1000;
+  double anomaly_publish_stall_ms = 250;
+};
 
 struct GraphServiceOptions {
   /// Worker threads executing queries (= max concurrently running).
@@ -112,6 +157,9 @@ struct GraphServiceOptions {
   /// and the latency summary through the registry's exposition. The
   /// registry must outlive the service.
   obs::MetricsRegistry* metrics = nullptr;
+  /// The always-on telemetry layer (tail sampling, sliding window, SLO,
+  /// anomaly triggers). On by default; see TelemetryOptions.
+  TelemetryOptions telemetry;
 };
 
 /// What shape of answer the client wants back.
@@ -232,6 +280,20 @@ struct ServiceHealth {
   /// value with a deep queue is the overload signal.
   double oldest_running_ms = 0;
   std::vector<WorkerHealth> workers;
+  /// Sliding-window view (telemetry.window; zeros when off or empty).
+  std::uint64_t window_samples = 0;
+  double window_qps = 0;
+  double window_error_rate = 0;
+  double window_p50_ms = 0, window_p95_ms = 0, window_p99_ms = 0;
+  /// SLO verdict over the window (SloTracker on telemetry.slo).
+  double availability = 1.0;
+  double burn_rate = 0;
+  double latency_burn_rate = 0;
+  bool slo_healthy = true;
+  /// Tail sampling: traces kept so far, and the current slow-keep
+  /// threshold (0 = window still warming up, only failures kept).
+  std::uint64_t traces_captured = 0;
+  double slow_keep_threshold_ms = 0;
 };
 
 struct LatencySummary {
@@ -281,6 +343,13 @@ class GraphService {
   ServiceHealth health() const;
   const SnapshotStore& store() const { return store_; }
   const EnginePool& engine_pool() const { return pool_; }
+  /// The tail-sampling sink: the last trace_store_capacity keeper
+  /// traces (slow / deadline / failed queries), captured with zero
+  /// Query::trace opt-in. Export entries with obs::to_chrome_trace_json.
+  const obs::TraceStore& trace_store() const { return trace_store_; }
+  /// The sliding window behind health()/metrics (null when
+  /// telemetry.window is off); snapshot with obs::Tracer::now_ns().
+  const obs::SlidingWindow* window() const { return window_.get(); }
 
  private:
   struct Item {
@@ -303,6 +372,11 @@ class GraphService {
   struct WorkerState {
     std::atomic<std::uint64_t> processed{0};
     std::atomic<std::int64_t> busy_since_us{-1};
+    /// The pickup stamp behind busy_since_us, kept as a plain field the
+    /// owning worker re-reads inside process(): telemetry derives the
+    /// queue-wait end / probe start from it instead of paying a second
+    /// clock read per query. Worker-thread private.
+    std::int64_t pickup_us = 0;
     std::mutex lat_mutex;
     Histogram lat_buckets;  ///< log_bucket(latency us), see record()
     double lat_sum_ms = 0;
@@ -311,8 +385,29 @@ class GraphService {
   void worker_loop(std::size_t worker_idx);
   void process(Item& item, WorkerState& ws);
   /// Fails the item's future with a ServiceError of the given code,
-  /// counting `failed` and the per-code counter exactly once.
-  void fail(Item& item, ErrorCode code, const std::string& what);
+  /// counting `failed` and the per-code counter exactly once. `sampled`
+  /// = the caller armed a tail-sampling trace that must be settled
+  /// (failures are always kept).
+  void fail(Item& item, ErrorCode code, const std::string& what,
+            bool sampled = false);
+  /// Tail-sampling keep/drop decision at completion: failures and
+  /// deadline hits always keep; successes keep iff over the rolling
+  /// threshold. Ends the worker's reusable trace either way.
+  void settle_sample(Item& item, double latency_ms, bool ok, ErrorCode code,
+                     std::uint64_t version);
+  /// Window bookkeeping for one settled query (completion, failure,
+  /// rejection, stale serve) + the rate-limited monitor pass. `code` is
+  /// an ErrorCode index or SlidingWindow::kOk. Pass now_ns when the
+  /// caller already holds a completion stamp (hot path); 0 reads it.
+  void observe_settled(const std::string& algo, double latency_ms,
+                       std::size_t code, std::uint64_t now_ns = 0);
+  /// Rate-limited (monitor_interval_ms) in steady state; while the keep
+  /// threshold is still unset (window short of keep_min_samples) it
+  /// re-evaluates on every settle so slow-keep arms as soon as there is
+  /// evidence. Recomputes the tail-sampling keep threshold from the
+  /// windowed p99 and fires the flight-recorder anomaly triggers.
+  void maybe_monitor(std::uint64_t now_ns);
+  double oldest_running_ms_now() const;
   /// Stale-serve attempt for a query that would otherwise fail
   /// (overload / deadline shed). Returns true iff the promise was
   /// fulfilled from the previous-epoch generation. `ws` routes the
@@ -359,6 +454,18 @@ class GraphService {
   /// per-worker histograms; latency() merges all of them.
   Histogram latency_buckets_;
   double latency_sum_ms_ = 0;
+
+  /// Always-on telemetry state. The window is null when telemetry.window
+  /// is off; the trace store exists regardless (manual pushes possible).
+  std::unique_ptr<obs::SlidingWindow> window_;
+  obs::SloTracker slo_;
+  obs::TraceStore trace_store_;
+  /// Rolling slow-keep threshold in us; kNoThreshold = window warming
+  /// up, only failures keep. Written by maybe_monitor, read relaxed at
+  /// every completion.
+  static constexpr std::uint64_t kNoThreshold = ~std::uint64_t{0};
+  std::atomic<std::uint64_t> keep_threshold_us_{kNoThreshold};
+  std::atomic<std::int64_t> last_monitor_us_{0};
 
   /// Declared last so it deregisters first on destruction: an in-flight
   /// scrape (which holds the registry mutex) finishes before any other

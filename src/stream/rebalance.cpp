@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "obs/trace.hpp"
+#include "obs/recorder.hpp"
 #include "support/error.hpp"
 
 namespace vebo::stream {
@@ -90,7 +90,7 @@ void VeboMaintainer::run_full(const DeltaGraph& g) {
 RebalanceAction VeboMaintainer::maybe_rebalance(const DeltaGraph& g) {
   // Stream-path span: the drift check plus whatever maintenance it
   // triggers. a = action taken, b = dirty vertices pending at entry.
-  obs::SpanScope span(obs::SpanKind::VeboRefine);
+  obs::StageScope span(obs::SpanKind::VeboRefine);
   const std::uint64_t dirty_before = dirty_.size();
   const RebalanceAction action = [&]() -> RebalanceAction {
     if (!drifted(g)) {

@@ -1,7 +1,7 @@
 #include "stream/session.hpp"
 
 #include "graph/permute.hpp"
-#include "obs/trace.hpp"
+#include "obs/recorder.hpp"
 #include "support/error.hpp"
 
 namespace vebo::stream {
@@ -17,7 +17,7 @@ StreamSession::BatchOutcome StreamSession::apply(
     std::span<const EdgeUpdate> batch) {
   BatchOutcome out;
   {
-    obs::SpanScope span(obs::SpanKind::ApplyBatch);
+    obs::StageScope span(obs::SpanKind::ApplyBatch);
     out.applied = delta_.apply_batch(batch);
     if (span.live()) {
       span.span().a = out.applied.inserted;
@@ -40,7 +40,7 @@ StreamSession::BatchOutcome StreamSession::apply(
   if (opts_.compact_fraction > 0 && delta_.num_edges() > 0 &&
       static_cast<double>(delta_.delta_edges()) >
           opts_.compact_fraction * static_cast<double>(delta_.num_edges())) {
-    obs::SpanScope span(obs::SpanKind::Compact);
+    obs::StageScope span(obs::SpanKind::Compact);
     delta_.compact();
     ++stats_.compactions;
   }
@@ -52,7 +52,7 @@ void StreamSession::refresh() {
   // Stream-path span: the snapshot + VEBO relabel + engine rebind a
   // mutation's first query pays. a stays 0 — the session itself is
   // unversioned (the SnapshotStore mints epoch versions at publish).
-  obs::SpanScope span(obs::SpanKind::Snapshot);
+  obs::StageScope span(obs::SpanKind::Snapshot);
   // Snapshot in original ids, then relabel by the maintained ordering so
   // the engine sees VEBO-contiguous partitions.
   snap_ = std::make_shared<const Graph>(

@@ -90,15 +90,19 @@ class FaultInjector {
   }
 
   /// A sleep-style hook point: sleeps the armed delay when the visit
-  /// fires. One relaxed load when disarmed.
-  void delay_point(Hook h) {
+  /// fires. One relaxed load when disarmed. Returns whether it slept so
+  /// call sites can repair stamps taken just before an injected stall.
+  bool delay_point(Hook h) {
     State& s = state_[index(h)];
-    if (!s.armed.load(std::memory_order_acquire)) return;
+    if (!s.armed.load(std::memory_order_acquire)) return false;
     if (decide(h, s)) {
       const std::uint64_t us = s.delay_us.load(std::memory_order_relaxed);
-      if (us != 0)
+      if (us != 0) {
         std::this_thread::sleep_for(std::chrono::microseconds(us));
+        return true;
+      }
     }
+    return false;
   }
 
   /// A throw-style hook point: raises when the visit fires

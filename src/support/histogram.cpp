@@ -63,6 +63,41 @@ std::uint64_t Histogram::value_at_quantile(double q) const {
   return max_value();
 }
 
+std::uint64_t Histogram::count_le(std::uint64_t value) const {
+  std::uint64_t seen = 0;
+  const std::size_t stop =
+      std::min<std::size_t>(bins_.size(), static_cast<std::size_t>(value) + 1);
+  for (std::size_t v = 0; v < stop; ++v) seen += bins_[v];
+  return seen;
+}
+
+WindowedHistogram::WindowedHistogram(std::size_t sub_windows)
+    : subs_(std::max<std::size_t>(1, sub_windows)) {}
+
+void WindowedHistogram::add(std::uint64_t value, std::uint64_t count) {
+  subs_[cur_].add(value, count);
+  total_ += count;
+}
+
+void WindowedHistogram::rotate() {
+  // The slot after current holds the oldest sub-window; it becomes the
+  // fresh current (its samples expire), keeping the ring in place.
+  cur_ = (cur_ + 1) % subs_.size();
+  total_ -= subs_[cur_].total();
+  subs_[cur_] = Histogram{};
+}
+
+void WindowedHistogram::clear() {
+  for (auto& s : subs_) s = Histogram{};
+  total_ = 0;
+}
+
+Histogram WindowedHistogram::merged() const {
+  Histogram m;
+  for (const auto& s : subs_) m.merge(s);
+  return m;
+}
+
 double Histogram::powerlaw_exponent(std::uint64_t min_value) const {
   std::vector<double> lx, ly;
   for (std::size_t v = std::max<std::uint64_t>(min_value, 1);

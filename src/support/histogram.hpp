@@ -36,6 +36,11 @@ class Histogram {
   /// histogram. q=0.5/0.95/0.99 are the serving latency percentiles.
   std::uint64_t value_at_quantile(double q) const;
 
+  /// Number of samples with value <= `value`. With log-bucketed samples
+  /// this answers "how many were at or under this latency bucket" — the
+  /// SLO latency-burn numerator is total() - count_le(target_bucket).
+  std::uint64_t count_le(std::uint64_t value) const;
+
   /// Adds every sample of `other` into this histogram (bin-wise; exact,
   /// since both record the same integer values). Aggregating per-worker
   /// latency histograms this way preserves quantiles exactly at the bin
@@ -56,6 +61,44 @@ class Histogram {
 
  private:
   std::vector<std::uint64_t> bins_;
+  std::uint64_t total_ = 0;
+};
+
+/// A histogram over a sliding window: K sub-window histograms, one
+/// "current" receiving add(), rotated in lockstep with the owner's time
+/// buckets. rotate() retires the oldest sub-window and opens a fresh
+/// current one, so after K rotations a sample is gone — the windowed
+/// quantiles in the obs plane (SlidingWindow) never see samples older
+/// than the window horizon. merged() flattens the live sub-windows into
+/// one plain Histogram (bin-wise, exact), so quantiles over the window
+/// are computed by the same nearest-rank code as the cumulative ones.
+class WindowedHistogram {
+ public:
+  /// `sub_windows` >= 1; one is always "current".
+  explicit WindowedHistogram(std::size_t sub_windows = 10);
+
+  void add(std::uint64_t value, std::uint64_t count = 1);
+
+  /// Advances the window by one sub-window: the oldest drops out, a
+  /// fresh empty current opens. Rotating an all-empty window is a no-op
+  /// in effect (still just empty sub-windows).
+  void rotate();
+
+  /// Drops every sample (all sub-windows emptied).
+  void clear();
+
+  /// Samples currently inside the window (sum over live sub-windows).
+  std::uint64_t total() const { return total_; }
+  std::size_t sub_windows() const { return subs_.size(); }
+
+  /// Bin-wise union of the live sub-windows. Quantiles over the window:
+  /// merged().value_at_quantile(q) — exact at the bin level, identical
+  /// to a flat Histogram fed the same (unexpired) samples.
+  Histogram merged() const;
+
+ private:
+  std::vector<Histogram> subs_;  ///< ring; subs_[cur_] is current
+  std::size_t cur_ = 0;
   std::uint64_t total_ = 0;
 };
 

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 
 namespace vebo {
 
@@ -19,6 +20,16 @@ class Timer {
 
   /// Milliseconds since construction or the last reset().
   double elapsed_ms() const { return elapsed() * 1e3; }
+
+  /// Steady-clock nanoseconds of construction / last reset() — the same
+  /// epoch obs::Tracer::now_ns() reads, so instrumentation can reuse a
+  /// Timer's stamp instead of paying another clock read.
+  std::uint64_t start_ns() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            start_.time_since_epoch())
+            .count());
+  }
 
  private:
   using clock = std::chrono::steady_clock;

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "gen/rmat.hpp"
+#include "obs/recorder.hpp"
 #include "serve/graph_service.hpp"
 #include "serve/service_error.hpp"
 #include "serve/snapshot_store.hpp"
@@ -235,6 +236,134 @@ TEST(Chaos, WorkerStallShedsExpiredQueriesNotTheService) {
   // Undeadlined queries ride out the stall.
   EXPECT_GT(service.query({"CC", 0}).value, 0.0);
   EXPECT_EQ(service.engine_pool().outstanding(), 0u);
+}
+
+// ---------------------------------------- PR 8: health under load
+
+// A stalled worker is VISIBLE: while the injected stall holds the only
+// worker, health() reports the query in flight with a growing age; once
+// it completes, the heartbeat advanced and the age collapses to zero.
+TEST(Chaos, HealthHeartbeatsAndStallVisibility) {
+  DisarmGuard guard;
+  auto& inj = FaultInjector::instance();
+  inj.seed(99);
+
+  const Graph base = gen::rmat(8, 4, 305);
+  StreamSession session(base);
+  SnapshotStore store;
+  GraphServiceOptions o;
+  o.workers = 1;
+  GraphService service(store, o);
+  service.publish_session(session);
+
+  (void)service.query({"CC", 0});  // warm: engine built, worker proven
+  const serve::ServiceHealth before = service.health();
+  ASSERT_EQ(before.workers.size(), 1u);
+  const std::uint64_t beat0 = before.workers[0].processed;
+
+  inj.arm(Hook::WorkerStall, 1.0, 80'000);  // 80ms at pickup
+  Query q{"BFS", 0};
+  auto sub = service.submit(q);
+  ASSERT_TRUE(sub.accepted());
+  // Catch the worker mid-stall: in flight, age visibly growing.
+  bool seen_stalled = false;
+  for (int i = 0; i < 400 && !seen_stalled; ++i) {
+    const serve::ServiceHealth h = service.health();
+    if (h.in_flight == 1 && h.oldest_running_ms >= 20.0) seen_stalled = true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(seen_stalled);
+  (void)sub.result.get();
+  inj.disarm_all();
+
+  const serve::ServiceHealth after = service.health();
+  EXPECT_GT(after.workers[0].processed, beat0);  // heartbeat advanced
+  EXPECT_EQ(after.in_flight, 0u);
+  EXPECT_EQ(after.oldest_running_ms, 0.0);
+}
+
+// The windowed view and the SLO verdict stay coherent while faults fly
+// and the flight recorder is armed: an observer hammers health() for
+// range violations, the storm pushes the burn rate past 1, and the
+// error-rate anomaly trips the recorder.
+TEST(Chaos, WindowAndBurnRateStaySaneUnderStorm) {
+  DisarmGuard guard;
+  obs::RecorderOptions ro;
+  ro.min_trigger_gap_ns = 0;  // let every anomaly check re-trigger
+  obs::FlightRecorder::instance().arm(ro);
+  struct RecorderDisarm {
+    ~RecorderDisarm() { obs::FlightRecorder::instance().disarm(); }
+  } rec_guard;
+  auto& inj = FaultInjector::instance();
+  inj.seed(0xBEEF);
+  inj.arm(Hook::QueryThrow, 0.4);
+  inj.arm(Hook::WorkerStall, 0.2, 100);
+
+  const Graph base = gen::rmat(8, 4, 307);
+  StreamSession session(base);
+  SnapshotStore store;
+  GraphServiceOptions o;
+  o.workers = 3;
+  o.queue_capacity = 256;  // no rejections: the ledger check is exact
+  o.enable_cache = false;  // every query executes, so QueryThrow can land
+  o.telemetry.monitor_interval_ms = 0;
+  o.telemetry.anomaly_min_samples = 10;
+  o.telemetry.anomaly_error_rate = 0.2;
+  GraphService service(store, o);
+  service.publish_session(session);
+
+  std::atomic<std::uint64_t> sane_checks{0};
+  std::atomic<int> violations{0};
+  std::atomic<bool> done{false};
+  std::thread observer([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const serve::ServiceHealth h = service.health();
+      if (h.window_error_rate < 0 || h.window_error_rate > 1 ||
+          h.availability < 0 || h.availability > 1 || h.burn_rate < 0 ||
+          h.latency_burn_rate < 0 || h.window_qps < 0 ||
+          h.window_p50_ms > h.window_p99_ms + 1e-9 ||
+          h.slow_keep_threshold_ms < 0)
+        violations.fetch_add(1);
+      sane_checks.fetch_add(1);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  std::atomic<std::uint64_t> ok{0}, failed{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c)
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < 60; ++i) {
+        Query q;
+        q.algo = i % 2 ? "PR" : "BFS";
+        q.source = static_cast<VertexId>((c + i) % 16);
+        try {
+          (void)service.query(q);
+          ok.fetch_add(1);
+        } catch (const serve::ServiceError&) {
+          failed.fetch_add(1);
+        }
+      }
+    });
+  for (auto& t : clients) t.join();
+  done.store(true, std::memory_order_release);
+  observer.join();
+  inj.disarm_all();
+
+  EXPECT_EQ(violations.load(), 0);
+  EXPECT_GT(sane_checks.load(), 0u);
+  EXPECT_GT(failed.load(), 0u);  // the storm actually landed
+  const serve::ServiceHealth h = service.health();
+  EXPECT_EQ(h.window_samples, ok.load() + failed.load());
+  EXPECT_GT(h.window_error_rate, 0.0);
+  EXPECT_GT(h.burn_rate, 1.0);  // ~40% errors against a 0.1% budget
+  EXPECT_FALSE(h.slo_healthy);
+  // The error-rate anomaly tripped the armed recorder at least once.
+  EXPECT_GT(obs::FlightRecorder::instance().triggers(), 0u);
+  // The cumulative ledger is untouched by the windowed plane.
+  const auto s = service.stats();
+  EXPECT_EQ(s.submitted, s.completed + s.failed + s.rejected);
+  EXPECT_EQ(s.rejected, 0u);
 }
 
 }  // namespace

@@ -23,6 +23,7 @@
 #include "framework/engine.hpp"
 #include "gen/rmat.hpp"
 #include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "obs/trace.hpp"
 #include "serve/graph_service.hpp"
 #include "serve/snapshot_store.hpp"
@@ -637,6 +638,41 @@ TEST(TracedQuery, CacheHitTraceMarksProbe) {
     EXPECT_NE(s.kind, SpanKind::Execute);
 }
 
+// A tail-sampled keeper (a query NOBODY traced) and a flight-recorder
+// dump both export as schema-valid Chrome trace-event JSON — the same
+// bar the opt-in trace export is held to.
+TEST(TracedQuery, AutoCapturedTraceAndFlightDumpValidateAsChromeJson) {
+  // Zero min-span floor: this test's spans are microsecond-scale and
+  // the dump must contain them.
+  obs::RecorderOptions ro;
+  ro.min_span_ns = 0;
+  obs::FlightRecorder::instance().arm(ro);
+  SnapshotStore store;
+  StreamSession session(*make_graph(8, 4, 6));
+  GraphServiceOptions opts;
+  opts.workers = 2;
+  GraphService service(store, opts);
+  service.publish_session(session);
+
+  // A failing query is always kept by tail sampling — no threshold
+  // warm-up, no Query::trace.
+  Query bad;
+  bad.algo = "NOPE";
+  EXPECT_THROW((void)service.query(bad), serve::ServiceError);
+  ASSERT_EQ(service.trace_store().size(), 1u);
+  const obs::CapturedTrace ct = service.trace_store().recent().front();
+  EXPECT_EQ(ct.reason, "error:bad-request");
+  std::size_t x_events = 0;
+  validate_chrome_trace(obs::to_chrome_trace_json(ct.trace), &x_events);
+  EXPECT_EQ(x_events, ct.trace.spans.size());
+
+  const obs::FlightDump dump = obs::FlightRecorder::instance().dump("test");
+  obs::FlightRecorder::instance().disarm();
+  ASSERT_FALSE(dump.spans.empty());  // the worker's stage spans landed
+  validate_chrome_trace(obs::to_chrome_trace_json(dump), &x_events);
+  EXPECT_EQ(x_events, dump.spans.size());
+}
+
 // ------------------------------------------------- exposition pinning
 
 // Every pre-existing stat must be reachable through the registry: the
@@ -687,6 +723,30 @@ TEST(MetricsPlane, EveryServiceStatIsExposed) {
         serve::to_string(static_cast<serve::ErrorCode>(i)) + "\"}";
     EXPECT_NE(text.find(labeled), std::string::npos) << labeled;
   }
+  // PR 8 window/SLO/sampling additions ride alongside: the cumulative
+  // names above are pinned UNCHANGED; the sliding-window view gets its
+  // own `_window`-suffixed series plus the SLO and trace-store gauges.
+  for (const char* name : {
+           "vebo_service_qps_window", "vebo_service_error_rate_window",
+           "vebo_service_window_samples",
+           "vebo_service_latency_ms_window{quantile=\"0.5\"}",
+           "vebo_service_latency_ms_window{quantile=\"0.95\"}",
+           "vebo_service_latency_ms_window{quantile=\"0.99\"}",
+           "vebo_algo_latency_ms_window{algo=\"PR\",quantile=\"0.5\"}",
+           "vebo_algo_latency_ms_window{algo=\"PR\",quantile=\"0.99\"}",
+           "vebo_slo_availability_window", "vebo_slo_burn_rate",
+           "vebo_slo_latency_burn_rate", "vebo_traces_captured_total",
+           "vebo_traces_stored", "vebo_recorder_dumps_total",
+       })
+    EXPECT_NE(text.find(name), std::string::npos) << name;
+  for (std::size_t i = 0; i < serve::kNumErrorCodes; ++i) {
+    const std::string labeled =
+        std::string("vebo_service_errors_window{code=\"") +
+        serve::to_string(static_cast<serve::ErrorCode>(i)) + "\"}";
+    EXPECT_NE(text.find(labeled), std::string::npos) << labeled;
+  }
+  // The window saw this test's queries (2 ok + 1 failed, just now).
+  EXPECT_NE(text.find("vebo_service_window_samples 3"), std::string::npos);
 
   // Values track the stats() surface exactly.
   const serve::GraphServiceStats st = service.stats();

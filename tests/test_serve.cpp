@@ -841,6 +841,20 @@ Query slow_query(int iterations = 50000000) {
   return q;
 }
 
+// Waits until the just-submitted query is OUT of the queue and being
+// executed. Checking in_flight alone is racy: the worker resolves the
+// client's promise before clearing its busy stamp, so under load the
+// stamp of an ALREADY-SETTLED query can read as busy while the new one
+// still sits in the queue. Busy + drained queue is race-free — the pop
+// is sequenced after the previous query's idle store on the worker.
+void wait_until_running(GraphService& service) {
+  for (;;) {
+    const serve::ServiceHealth h = service.health();
+    if (h.queue_depth == 0 && h.in_flight > 0) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
 TEST(ServiceError, CodesAreTypedAndCounted) {
   SnapshotStore store;
   GraphService service(store, small_service(1));
@@ -892,8 +906,7 @@ TEST(GraphService, DeadlineExpiredQueuedQueriesAreShed) {
   slow.cancel = stop_slow.token();
   auto running = service.submit(slow);
   ASSERT_TRUE(running.accepted());
-  while (service.health().in_flight == 0)
-    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  wait_until_running(service);
 
   Query doomed{"BFS", 0};
   doomed.deadline_ms = 0.01;  // lapses while the worker stays parked
@@ -945,8 +958,7 @@ TEST(GraphService, CancellationStopsARunningTraversalPromptly) {
   auto sub = service.submit(q);
   ASSERT_TRUE(sub.accepted());
   // Let it actually start, then cancel mid-run.
-  while (service.health().in_flight == 0)
-    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  wait_until_running(service);
   src.cancel();
   const auto t0 = std::chrono::steady_clock::now();
   EXPECT_THROW(sub.result.get(), serve::ServiceError);
@@ -1014,8 +1026,7 @@ TEST(GraphService, StaleServeAnswersFromPreviousEpochMarked) {
   slow.cancel = stop_slow.token();
   auto running = service.submit(slow);
   ASSERT_TRUE(running.accepted());
-  while (service.health().in_flight == 0)
-    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  wait_until_running(service);
   auto queued = service.submit(slow_query(1));
   ASSERT_TRUE(queued.accepted());
 
@@ -1062,8 +1073,7 @@ TEST(GraphService, DefaultModeNeverServesStale) {
   slow.cancel = stop_slow.token();
   auto running = service.submit(slow);
   ASSERT_TRUE(running.accepted());
-  while (service.health().in_flight == 0)
-    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  wait_until_running(service);
   auto queued = service.submit(slow_query(1));
   ASSERT_TRUE(queued.accepted());
 

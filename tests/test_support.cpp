@@ -454,5 +454,106 @@ TEST(HistogramMerge, QuantilePreservationBounds) {
   EXPECT_EQ(merged.value_at_quantile(0.5), 99u);
 }
 
+// --------------------------------------------------- windowed histogram
+
+TEST(WindowedHistogram, EmptyRotationIsHarmless) {
+  WindowedHistogram w(4);
+  for (int i = 0; i < 20; ++i) w.rotate();  // rotate far past capacity
+  EXPECT_EQ(w.total(), 0u);
+  EXPECT_EQ(w.merged().total(), 0u);
+  w.add(5);  // still usable after the idle spin
+  EXPECT_EQ(w.total(), 1u);
+  EXPECT_EQ(w.merged().value_at_quantile(0.5), 5u);
+}
+
+TEST(WindowedHistogram, SingleSampleWindow) {
+  WindowedHistogram w(3);
+  w.add(42);
+  EXPECT_EQ(w.total(), 1u);
+  // The lone sample answers every quantile, exactly like Histogram.
+  for (double q : {0.0, 0.5, 0.99, 1.0})
+    EXPECT_EQ(w.merged().value_at_quantile(q), 42u);
+  // It survives sub_windows-1 rotations, then ages out on the one that
+  // reclaims its slot.
+  w.rotate();
+  w.rotate();
+  EXPECT_EQ(w.total(), 1u);
+  w.rotate();
+  EXPECT_EQ(w.total(), 0u);
+  EXPECT_EQ(w.merged().value_at_quantile(0.5), 0u);
+}
+
+TEST(WindowedHistogram, FullWrapEvictsOldestFirst) {
+  // One distinct value per sub-window; each rotation past full must
+  // evict exactly the oldest value, never a newer one.
+  WindowedHistogram w(4);
+  for (std::uint64_t v = 1; v <= 4; ++v) {
+    w.add(v * 10);
+    if (v < 4) w.rotate();
+  }
+  EXPECT_EQ(w.total(), 4u);
+  for (std::uint64_t v = 5; v <= 10; ++v) {
+    w.rotate();
+    w.add(v * 10);
+    EXPECT_EQ(w.total(), 4u) << v;
+    Histogram m = w.merged();
+    EXPECT_EQ(m.count((v - 4) * 10), 0u) << v;  // oldest gone
+    EXPECT_EQ(m.count((v - 3) * 10), 1u) << v;  // next-oldest retained
+    EXPECT_EQ(m.count(v * 10), 1u) << v;        // newest present
+  }
+}
+
+TEST(WindowedHistogram, MergedMatchesFlatHistogramOverLiveWindow) {
+  // Quantile consistency: merged() over the live sub-windows must equal
+  // a flat Histogram fed the same still-live samples, at every quantile.
+  Xoshiro256 rng(17);
+  WindowedHistogram w(5);
+  std::vector<std::vector<std::uint64_t>> per_slot;
+  for (int slot = 0; slot < 12; ++slot) {  // wraps the 5-slot ring twice
+    if (slot != 0) w.rotate();
+    per_slot.emplace_back();
+    for (int i = 0; i < 50; ++i) {
+      const std::uint64_t v = rng.next_below(2000);
+      w.add(v);
+      per_slot.back().push_back(v);
+    }
+  }
+  Histogram flat;
+  for (std::size_t s = per_slot.size() - 5; s < per_slot.size(); ++s)
+    for (std::uint64_t v : per_slot[s]) flat.add(v);
+  const Histogram m = w.merged();
+  EXPECT_EQ(m.total(), flat.total());
+  EXPECT_EQ(w.total(), flat.total());
+  for (double q : {0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 1.0})
+    EXPECT_EQ(m.value_at_quantile(q), flat.value_at_quantile(q)) << q;
+}
+
+TEST(WindowedHistogram, ClearResetsEverything) {
+  WindowedHistogram w(3);
+  w.add(1, 10);
+  w.rotate();
+  w.add(2, 5);
+  EXPECT_EQ(w.total(), 15u);
+  w.clear();
+  EXPECT_EQ(w.total(), 0u);
+  EXPECT_EQ(w.merged().total(), 0u);
+  w.add(9);
+  EXPECT_EQ(w.merged().value_at_quantile(1.0), 9u);
+}
+
+TEST(Histogram, CountLe) {
+  Histogram h;
+  h.add(1, 3);
+  h.add(5, 2);
+  h.add(9, 1);
+  EXPECT_EQ(h.count_le(0), 0u);
+  EXPECT_EQ(h.count_le(1), 3u);
+  EXPECT_EQ(h.count_le(4), 3u);
+  EXPECT_EQ(h.count_le(5), 5u);
+  EXPECT_EQ(h.count_le(9), 6u);
+  EXPECT_EQ(h.count_le(1000), 6u);  // past max_value: everything
+  EXPECT_EQ(Histogram{}.count_le(10), 0u);
+}
+
 }  // namespace
 }  // namespace vebo
