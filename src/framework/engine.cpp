@@ -32,7 +32,11 @@ Engine::Engine(const Graph& g, SystemModel model, EngineOptions opts)
   rebind(g, opts_.explicit_partitioning);
 }
 
-void Engine::rebind(const Graph& g, const order::Partitioning* part) {
+// Carve-out: rebind's quiescence contract (no concurrent edge_map or
+// partitioned_coo) makes its plain resets of the lock-guarded lazy state
+// race-free without taking the build mutexes.
+void Engine::rebind(const Graph& g,
+                    const order::Partitioning* part) NO_THREAD_SAFETY_ANALYSIS {
   VEBO_CHECK(!scratch_busy_.load(std::memory_order_acquire),
              "rebind during an active edge_map");
   graph_ = &g;
@@ -109,9 +113,12 @@ ForOptions Engine::dense_chunk_loop() const {
   return o;
 }
 
-std::span<const VertexId> Engine::dense_chunks() const {
+// Carve-out: documented double-checked locking — the acquire load of
+// dense_chunks_built_ publishes dense_chunks_ for the lock-free return.
+std::span<const VertexId> Engine::dense_chunks() const
+    NO_THREAD_SAFETY_ANALYSIS {
   if (!dense_chunks_built_.load(std::memory_order_acquire)) {
-    std::lock_guard<std::mutex> lk(dense_chunks_mutex_);
+    MutexLock lk(dense_chunks_mutex_);
     if (!dense_chunks_built_.load(std::memory_order_relaxed)) {
       const VertexId n = graph_->num_vertices();
       const std::span<const EdgeId> off = graph_->in_csr().offsets();
@@ -154,13 +161,16 @@ Engine::ScratchLease::ScratchLease(const Engine& eng)
              "edge_map calls on one Engine are not supported");
 }
 
-const PartitionedCoo& Engine::partitioned_coo() const {
+// Carve-out: documented double-checked locking — the acquire load of
+// coo_built_ publishes coo_ for the lock-free return.
+const PartitionedCoo& Engine::partitioned_coo() const
+    NO_THREAD_SAFETY_ANALYSIS {
   VEBO_CHECK(partitioned(), "partitioned_coo requires a partitioned model");
   // Double-checked lazy build: two threads sharing one engine for
   // read-only traversal must not double-build or observe a half-built
   // COO. The release store pairs with the acquire load.
   if (!coo_built_.load(std::memory_order_acquire)) {
-    std::lock_guard<std::mutex> lk(coo_mutex_);
+    MutexLock lk(coo_mutex_);
     if (!coo_built_.load(std::memory_order_relaxed)) {
       coo_ = build_partitioned_coo(*graph_, part_, opts_.edge_order);
       coo_built_.store(true, std::memory_order_release);

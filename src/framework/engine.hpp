@@ -15,7 +15,6 @@
 #include <atomic>
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "framework/cancel.hpp"
@@ -23,6 +22,7 @@
 #include "graph/graph.hpp"
 #include "order/partition.hpp"
 #include "parallel/parallel_for.hpp"
+#include "support/annotated_mutex.hpp"
 #include "support/bitset.hpp"
 
 namespace vebo {
@@ -176,16 +176,22 @@ class Engine {
   EngineOptions opts_;
   VertexId partitions_ = 0;
   order::Partitioning part_;
-  mutable PartitionedCoo coo_;  // lazy, guarded below
+  /// Lazy COO, written once under coo_mutex_ then read lock-free after
+  /// the acquire load of coo_built_ — the accessors carrying the
+  /// post-publication reads (partitioned_coo, rebind) are the sanctioned
+  /// NO_THREAD_SAFETY_ANALYSIS carve-outs in engine.cpp; every other
+  /// access path stays checked against this GUARDED_BY.
+  mutable PartitionedCoo coo_ GUARDED_BY(coo_mutex_);
   /// Release-published by the builder, acquire-loaded on the fast path;
   /// coo_mutex_ serializes the one-time build (double-checked locking).
   mutable std::atomic<bool> coo_built_{false};
-  mutable std::mutex coo_mutex_;
+  mutable Mutex coo_mutex_;
   /// Lazy edge-balanced chunk boundaries (same publication discipline as
-  /// the COO: release-published, acquire-loaded, one-time build).
-  mutable std::vector<VertexId> dense_chunks_;
+  /// the COO: release-published, acquire-loaded, one-time build; the
+  /// dense_chunks() carve-out in engine.cpp holds the lock-free read).
+  mutable std::vector<VertexId> dense_chunks_ GUARDED_BY(dense_chunks_mutex_);
   mutable std::atomic<bool> dense_chunks_built_{false};
-  mutable std::mutex dense_chunks_mutex_;
+  mutable Mutex dense_chunks_mutex_;
   mutable AtomicBitset claim_scratch_;  // lazy, see claim_scratch()
   mutable std::unique_ptr<VertexId[]> slot_scratch_;  // see slot_scratch()
   mutable std::size_t slot_capacity_ = 0;

@@ -19,7 +19,7 @@ void MetricsRegistry::Registration::release() {
   if (!registry_) return;
   MetricsRegistry* r = registry_;
   registry_ = nullptr;
-  std::lock_guard<std::mutex> lock(r->mutex_);
+  MutexLock lock(r->mutex_);
   auto& cs = r->collectors_;
   cs.erase(std::remove_if(cs.begin(), cs.end(),
                           [&](const auto& p) { return p.first == id_; }),
@@ -28,7 +28,7 @@ void MetricsRegistry::Registration::release() {
 
 Counter& MetricsRegistry::counter(const std::string& name,
                                   const std::string& help) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Owned& o = owned_[name];
   if (!o.counter) {
     o.help = help;
@@ -40,7 +40,7 @@ Counter& MetricsRegistry::counter(const std::string& name,
 
 Gauge& MetricsRegistry::gauge(const std::string& name,
                               const std::string& help) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Owned& o = owned_[name];
   if (!o.gauge) {
     o.help = help;
@@ -51,14 +51,14 @@ Gauge& MetricsRegistry::gauge(const std::string& name,
 }
 
 MetricsRegistry::Registration MetricsRegistry::add_collector(Collector fn) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const std::uint64_t id = next_collector_id_++;
   collectors_.emplace_back(id, std::move(fn));
   return Registration(this, id);
 }
 
 std::vector<MetricSample> MetricsRegistry::collect() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<MetricSample> out;
   for (const auto& [name, o] : owned_) {
     MetricSample s;

@@ -35,10 +35,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "support/annotated_mutex.hpp"
 
 namespace vebo::obs {
 
@@ -123,14 +124,19 @@ class MetricsRegistry {
   /// Owned instruments, created on first use (idempotent by name; the
   /// help text of the first call sticks). References stay valid for the
   /// registry's lifetime.
-  Counter& counter(const std::string& name, const std::string& help = "");
-  Gauge& gauge(const std::string& name, const std::string& help = "");
+  Counter& counter(const std::string& name, const std::string& help = "")
+      EXCLUDES(mutex_);
+  Gauge& gauge(const std::string& name, const std::string& help = "")
+      EXCLUDES(mutex_);
 
   /// Registers a scrape-time callback emitting samples.
-  [[nodiscard]] Registration add_collector(Collector fn);
+  [[nodiscard]] Registration add_collector(Collector fn) EXCLUDES(mutex_);
 
   /// Snapshot of every sample: owned instruments plus all collectors.
-  std::vector<MetricSample> collect() const;
+  /// Collectors run UNDER mutex_ (that is what makes Registration's
+  /// destructor block on an in-flight scrape), so they must not call
+  /// back into this registry.
+  std::vector<MetricSample> collect() const EXCLUDES(mutex_);
 
   /// Prometheus text exposition format.
   std::string prometheus_text() const;
@@ -147,10 +153,12 @@ class MetricsRegistry {
     std::unique_ptr<Gauge> gauge;
   };
 
-  mutable std::mutex mutex_;
-  std::map<std::string, Owned> owned_;  ///< ordered => stable exposition
-  std::vector<std::pair<std::uint64_t, Collector>> collectors_;
-  std::uint64_t next_collector_id_ = 1;
+  mutable Mutex mutex_;
+  /// ordered => stable exposition
+  std::map<std::string, Owned> owned_ GUARDED_BY(mutex_);
+  std::vector<std::pair<std::uint64_t, Collector>> collectors_
+      GUARDED_BY(mutex_);
+  std::uint64_t next_collector_id_ GUARDED_BY(mutex_) = 1;
 };
 
 }  // namespace vebo::obs

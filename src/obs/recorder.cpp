@@ -32,14 +32,14 @@ void FlightRecorder::arm(RecorderOptions opts) {
   VEBO_CHECK(opts.ring_capacity >= 1,
              "FlightRecorder: ring_capacity must be >= 1");
   VEBO_CHECK(opts.window_ns >= 1, "FlightRecorder: window_ns must be >= 1");
-  std::lock_guard<std::mutex> lk(mutex_);
+  MutexLock lk(mutex_);
   opts_ = opts;
   detail::g_recorder_min_span_ns.store(opts_.min_span_ns,
                                        std::memory_order_relaxed);
   // Re-size live rings so re-arming with a different capacity takes
   // effect without waiting for threads to re-register.
   for (auto& r : rings_) {
-    std::lock_guard<std::mutex> rlk(r->mutex);
+    MutexLock rlk(r->mutex);
     if (r->spans.size() != opts_.ring_capacity) {
       r->spans.assign(opts_.ring_capacity, RecordedSpan{});
       r->spans.shrink_to_fit();
@@ -57,7 +57,7 @@ void FlightRecorder::arm(RecorderOptions opts) {
 }
 
 void FlightRecorder::disarm() {
-  std::lock_guard<std::mutex> lk(mutex_);
+  MutexLock lk(mutex_);
   if (!armed_.load(std::memory_order_relaxed)) return;
   armed_.store(false, std::memory_order_relaxed);
   detail::g_active_traces.fetch_sub(detail::kRecorderArmedBit,
@@ -68,7 +68,7 @@ FlightRecorder::Ring& FlightRecorder::local_ring() {
   if (t_recorder.ring == nullptr) {
     auto ring = std::make_shared<Ring>();
     {
-      std::lock_guard<std::mutex> lk(mutex_);
+      MutexLock lk(mutex_);
       ring->tid = next_tid_.fetch_add(1, std::memory_order_relaxed);
       ring->spans.assign(opts_.ring_capacity, RecordedSpan{});
       rings_.push_back(ring);
@@ -83,7 +83,7 @@ void FlightRecorder::record(const Span& s) {
   Ring& r = local_ring();
   // Uncontended in steady state: only dump() (the freeze) ever takes
   // this mutex from another thread.
-  std::lock_guard<std::mutex> lk(r.mutex);
+  MutexLock lk(r.mutex);
   if (r.spans.empty()) return;
   // Indexed wrap instead of %: the capacity is runtime-chosen, so a
   // modulo is an integer divide on every recorded span.
@@ -104,7 +104,7 @@ FlightDump FlightRecorder::take_dump(const std::string& reason) {
     Ring& r = **it;
     bool contributed = false;
     {
-      std::lock_guard<std::mutex> rlk(r.mutex);
+      MutexLock rlk(r.mutex);
       const std::size_t cap = r.spans.size();
       const std::size_t kept =
           static_cast<std::size_t>(std::min<std::uint64_t>(r.recorded, cap));
@@ -137,7 +137,7 @@ FlightDump FlightRecorder::take_dump(const std::string& reason) {
 }
 
 FlightDump FlightRecorder::dump(const std::string& reason) {
-  std::lock_guard<std::mutex> lk(mutex_);
+  MutexLock lk(mutex_);
   last_dump_ = take_dump(reason);
   return last_dump_;
 }
@@ -148,7 +148,7 @@ bool FlightRecorder::trigger(const std::string& reason) {
   std::uint64_t last = last_trigger_ns_.load(std::memory_order_relaxed);
   std::uint64_t gap;
   {
-    std::lock_guard<std::mutex> lk(mutex_);
+    MutexLock lk(mutex_);
     gap = opts_.min_trigger_gap_ns;
   }
   if (last != 0 && now - last < gap) return false;
@@ -156,24 +156,24 @@ bool FlightRecorder::trigger(const std::string& reason) {
   if (!last_trigger_ns_.compare_exchange_strong(last, now,
                                                 std::memory_order_relaxed))
     return false;
-  std::lock_guard<std::mutex> lk(mutex_);
+  MutexLock lk(mutex_);
   last_dump_ = take_dump(reason);
   ++triggers_;
   return true;
 }
 
 FlightDump FlightRecorder::last_dump() const {
-  std::lock_guard<std::mutex> lk(mutex_);
+  MutexLock lk(mutex_);
   return last_dump_;
 }
 
 std::uint64_t FlightRecorder::dumps() const {
-  std::lock_guard<std::mutex> lk(mutex_);
+  MutexLock lk(mutex_);
   return dump_seq_;
 }
 
 std::uint64_t FlightRecorder::triggers() const {
-  std::lock_guard<std::mutex> lk(mutex_);
+  MutexLock lk(mutex_);
   return triggers_;
 }
 

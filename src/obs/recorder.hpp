@@ -32,11 +32,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "obs/trace.hpp"
+#include "support/annotated_mutex.hpp"
 
 namespace vebo::obs {
 
@@ -98,32 +98,34 @@ class FlightRecorder {
   /// Arms the recorder (idempotent; re-arming updates the options and
   /// resizes live rings). Sets the recorder bit in the packed armed
   /// word, so disarmed StageScope sites stay at one relaxed load.
-  void arm(RecorderOptions opts = {});
-  void disarm();
+  void arm(RecorderOptions opts = {}) EXCLUDES(mutex_);
+  void disarm() EXCLUDES(mutex_);
   bool armed() const { return armed_.load(std::memory_order_relaxed); }
 
   /// Appends a span to the calling thread's ring; no-op when disarmed.
   /// Called by StageScope / record_stage, not usually directly.
-  void record(const Span& s);
+  void record(const Span& s) EXCLUDES(mutex_);
 
   /// Freezes every ring and exports the window. Always dumps (no rate
   /// limit) — this is the explicit-ask path. Stored as last_dump().
-  FlightDump dump(const std::string& reason = "manual");
+  FlightDump dump(const std::string& reason = "manual") EXCLUDES(mutex_);
 
   /// Anomaly entry point: like dump() but rate-limited by
   /// min_trigger_gap_ns. Returns whether a dump was actually taken.
-  bool trigger(const std::string& reason);
+  bool trigger(const std::string& reason) EXCLUDES(mutex_);
 
-  FlightDump last_dump() const;
-  std::uint64_t dumps() const;     ///< dumps ever taken (manual + triggered)
-  std::uint64_t triggers() const;  ///< trigger() calls that fired
+  FlightDump last_dump() const EXCLUDES(mutex_);
+  /// dumps ever taken (manual + triggered)
+  std::uint64_t dumps() const EXCLUDES(mutex_);
+  /// trigger() calls that fired
+  std::uint64_t triggers() const EXCLUDES(mutex_);
 
  private:
   struct Ring {
-    std::mutex mutex;
-    std::vector<RecordedSpan> spans;  ///< ring; wraps at capacity
-    std::uint64_t recorded = 0;       ///< spans ever recorded
-    std::size_t next = 0;             ///< write index (recorded % capacity)
+    Mutex mutex;  ///< freeze lock: uncontended except during a dump
+    std::vector<RecordedSpan> spans GUARDED_BY(mutex);  ///< wraps at capacity
+    std::uint64_t recorded GUARDED_BY(mutex) = 0;  ///< spans ever recorded
+    std::size_t next GUARDED_BY(mutex) = 0;  ///< write index (recorded % cap)
     std::uint32_t tid = 0;
     /// Steady stamp when the owning thread exited; 0 = alive. Retired
     /// rings are pruned once older than the window.
@@ -133,17 +135,17 @@ class FlightRecorder {
   FlightRecorder() = default;
 
   /// The calling thread's ring, registering it on first use.
-  Ring& local_ring();
-  FlightDump take_dump(const std::string& reason);  // caller holds mutex_
+  Ring& local_ring() EXCLUDES(mutex_);
+  FlightDump take_dump(const std::string& reason) REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;  ///< registry + dump bookkeeping
-  std::vector<std::shared_ptr<Ring>> rings_;
-  RecorderOptions opts_;
+  mutable Mutex mutex_;  ///< registry + dump bookkeeping
+  std::vector<std::shared_ptr<Ring>> rings_ GUARDED_BY(mutex_);
+  RecorderOptions opts_ GUARDED_BY(mutex_);
   std::atomic<bool> armed_{false};
   std::atomic<std::uint64_t> last_trigger_ns_{0};
-  std::uint64_t dump_seq_ = 0;
-  std::uint64_t triggers_ = 0;
-  FlightDump last_dump_;
+  std::uint64_t dump_seq_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t triggers_ GUARDED_BY(mutex_) = 0;
+  FlightDump last_dump_ GUARDED_BY(mutex_);
   std::atomic<std::uint32_t> next_tid_{1};
 
   friend struct RecorderTls;  // thread-exit retirement

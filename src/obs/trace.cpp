@@ -96,6 +96,7 @@ const char* to_string(SpanKind k) {
     case SpanKind::ApplyBatch: return "apply_batch";
     case SpanKind::Snapshot: return "snapshot";
     case SpanKind::Compact: return "compact";
+    // vebo-lint: disable=metric-names -- span stage label, not a metric
     case SpanKind::VeboRefine: return "vebo_refine";
     case SpanKind::Publish: return "publish";
   }
@@ -367,7 +368,7 @@ TraceStore::TraceStore(std::size_t capacity)
     : capacity_(std::max<std::size_t>(1, capacity)) {}
 
 void TraceStore::push(CapturedTrace t) {
-  std::lock_guard<std::mutex> lk(mutex_);
+  MutexLock lk(mutex_);
   t.seq = ++captured_;
   ring_.push_back(std::move(t));
   if (ring_.size() > capacity_) {
@@ -377,27 +378,27 @@ void TraceStore::push(CapturedTrace t) {
 }
 
 std::vector<CapturedTrace> TraceStore::recent() const {
-  std::lock_guard<std::mutex> lk(mutex_);
+  MutexLock lk(mutex_);
   return {ring_.begin(), ring_.end()};
 }
 
 std::size_t TraceStore::size() const {
-  std::lock_guard<std::mutex> lk(mutex_);
+  MutexLock lk(mutex_);
   return ring_.size();
 }
 
 std::uint64_t TraceStore::captured() const {
-  std::lock_guard<std::mutex> lk(mutex_);
+  MutexLock lk(mutex_);
   return captured_;
 }
 
 std::uint64_t TraceStore::evicted() const {
-  std::lock_guard<std::mutex> lk(mutex_);
+  MutexLock lk(mutex_);
   return evicted_;
 }
 
 void TraceStore::clear() {
-  std::lock_guard<std::mutex> lk(mutex_);
+  MutexLock lk(mutex_);
   ring_.clear();
 }
 

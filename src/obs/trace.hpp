@@ -45,9 +45,10 @@
 #include <cstdint>
 #include <deque>
 #include <iosfwd>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "support/annotated_mutex.hpp"
 
 namespace vebo::obs {
 
@@ -324,21 +325,21 @@ class TraceStore {
  public:
   explicit TraceStore(std::size_t capacity = 32);
 
-  void push(CapturedTrace t);
-  std::vector<CapturedTrace> recent() const;
-  std::size_t size() const;
+  void push(CapturedTrace t) EXCLUDES(mutex_);
+  std::vector<CapturedTrace> recent() const EXCLUDES(mutex_);
+  std::size_t size() const EXCLUDES(mutex_);
   std::size_t capacity() const { return capacity_; }
   /// Traces ever pushed (monotonic; captured() - evicted() = size()).
-  std::uint64_t captured() const;
-  std::uint64_t evicted() const;
-  void clear();
+  std::uint64_t captured() const EXCLUDES(mutex_);
+  std::uint64_t evicted() const EXCLUDES(mutex_);
+  void clear() EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   std::size_t capacity_;
-  std::deque<CapturedTrace> ring_;
-  std::uint64_t captured_ = 0;
-  std::uint64_t evicted_ = 0;
+  std::deque<CapturedTrace> ring_ GUARDED_BY(mutex_);
+  std::uint64_t captured_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t evicted_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace vebo::obs

@@ -57,7 +57,7 @@ void SlidingWindow::advance(std::uint64_t now_ns) const {
 
 void SlidingWindow::record(std::uint64_t now_ns, const std::string& algo,
                            double latency_ms, std::size_t code) {
-  std::lock_guard<std::mutex> lk(mutex_);
+  MutexLock lk(mutex_);
   advance(now_ns);
   // In-current-bucket stamps (the overwhelming majority) index the
   // cached slot directly; only a stamp lagging behind the current
@@ -88,7 +88,7 @@ void SlidingWindow::record(std::uint64_t now_ns, const std::string& algo,
 }
 
 WindowSnapshot SlidingWindow::snapshot(std::uint64_t now_ns) const {
-  std::lock_guard<std::mutex> lk(mutex_);
+  MutexLock lk(mutex_);
   advance(now_ns);
   WindowSnapshot w;
   w.window_s = static_cast<double>(buckets_.size()) *

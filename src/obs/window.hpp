@@ -22,11 +22,11 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "support/annotated_mutex.hpp"
 #include "support/histogram.hpp"
 
 namespace vebo::obs {
@@ -75,10 +75,10 @@ class SlidingWindow {
   /// count toward the error rate). `code` indexes errors_by_code, or
   /// kOk for a success.
   void record(std::uint64_t now_ns, const std::string& algo,
-              double latency_ms, std::size_t code = kOk);
+              double latency_ms, std::size_t code = kOk) EXCLUDES(mutex_);
 
   /// Advances the window to `now_ns` and merges the live buckets.
-  WindowSnapshot snapshot(std::uint64_t now_ns) const;
+  WindowSnapshot snapshot(std::uint64_t now_ns) const EXCLUDES(mutex_);
 
   const WindowOptions& options() const { return opts_; }
 
@@ -90,28 +90,29 @@ class SlidingWindow {
   };
 
   /// Clears buckets the window slid past; lockstep-rotates the latency
-  /// histograms. Caller holds mutex_.
-  void advance(std::uint64_t now_ns) const;
+  /// histograms.
+  void advance(std::uint64_t now_ns) const REQUIRES(mutex_);
 
   WindowOptions opts_;
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   /// Ring slot for absolute bucket index i is buckets_[i % buckets].
   /// advance() eagerly clears every slot the window slides past, so all
   /// slots always hold in-window data and snapshot() just sums them.
-  mutable std::vector<Bucket> buckets_;
-  mutable std::uint64_t cur_index_ = 0;
+  mutable std::vector<Bucket> buckets_ GUARDED_BY(mutex_);
+  mutable std::uint64_t cur_index_ GUARDED_BY(mutex_) = 0;
   /// Current bucket's ring slot and ns range, maintained by advance():
   /// the per-record fast path is one compare against cur_end_ns_ and a
   /// direct slot access — the three integer divisions (advance + ring
   /// indexing) only run when a bucket boundary is actually crossed.
-  mutable std::size_t cur_slot_ = 0;
-  mutable std::uint64_t cur_start_ns_ = 0;
-  mutable std::uint64_t cur_end_ns_ = 0;
-  mutable WindowedHistogram latency_;
+  mutable std::size_t cur_slot_ GUARDED_BY(mutex_) = 0;
+  mutable std::uint64_t cur_start_ns_ GUARDED_BY(mutex_) = 0;
+  mutable std::uint64_t cur_end_ns_ GUARDED_BY(mutex_) = 0;
+  mutable WindowedHistogram latency_ GUARDED_BY(mutex_);
   /// Flat (algo, histogram) pairs, linear-searched: the record path
   /// sees a handful of live algorithms, so a size-first string == scan
   /// beats a node-walking map find on every settled query.
-  mutable std::vector<std::pair<std::string, WindowedHistogram>> per_algo_;
+  mutable std::vector<std::pair<std::string, WindowedHistogram>> per_algo_
+      GUARDED_BY(mutex_);
 };
 
 }  // namespace vebo::obs

@@ -32,7 +32,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lk(mutex_);
+    MutexLock lk(mutex_);
     stop_ = true;
   }
   cv_start_.notify_all();
@@ -56,9 +56,9 @@ void ThreadPool::run_on_all(const std::function<void(std::size_t)>& fn) {
   // One region at a time: concurrent callers (e.g. several GraphService
   // workers whose queries reach the same pool) queue here instead of
   // clobbering the shared job slot.
-  std::lock_guard<std::mutex> region(region_mutex_);
+  MutexLock region(region_mutex_);
   {
-    std::lock_guard<std::mutex> lk(mutex_);
+    MutexLock lk(mutex_);
     job_ = &fn;
     ++generation_;
     pending_ = workers_.size();
@@ -70,11 +70,14 @@ void ThreadPool::run_on_all(const std::function<void(std::size_t)>& fn) {
     InsideGuard g(this);
     fn(0);
   } catch (...) {
-    std::lock_guard<std::mutex> lk(mutex_);
+    MutexLock lk(mutex_);
     if (!first_exception_) first_exception_ = std::current_exception();
   }
-  std::unique_lock<std::mutex> lk(mutex_);
-  cv_done_.wait(lk, [this] { return pending_ == 0; });
+  // Open-coded wait predicate: a lambda body is a separate function to
+  // the thread-safety analysis, so the guarded read lives here, where
+  // the capability is visibly held.
+  MutexLock lk(mutex_);
+  while (pending_ != 0) cv_done_.wait(lk.native_lock());
   job_ = nullptr;
   if (first_exception_) std::rethrow_exception(first_exception_);
 }
@@ -84,10 +87,12 @@ void ThreadPool::worker_loop(std::size_t id) {
   for (;;) {
     const std::function<void(std::size_t)>* job = nullptr;
     {
-      std::unique_lock<std::mutex> lk(mutex_);
-      cv_start_.wait(lk, [&] {
-        return stop_ || (job_ != nullptr && generation_ != seen_generation);
-      });
+      MutexLock lk(mutex_);
+      // Open-coded wait predicate (see run_on_all): guarded reads must
+      // sit where the analysis can see the lock held.
+      while (!stop_ &&
+             !(job_ != nullptr && generation_ != seen_generation))
+        cv_start_.wait(lk.native_lock());
       if (stop_) return;
       seen_generation = generation_;
       job = job_;
@@ -96,11 +101,11 @@ void ThreadPool::worker_loop(std::size_t id) {
       InsideGuard g(this);
       (*job)(id);
     } catch (...) {
-      std::lock_guard<std::mutex> lk(mutex_);
+      MutexLock lk(mutex_);
       if (!first_exception_) first_exception_ = std::current_exception();
     }
     {
-      std::lock_guard<std::mutex> lk(mutex_);
+      MutexLock lk(mutex_);
       if (--pending_ == 0) cv_done_.notify_all();
     }
   }

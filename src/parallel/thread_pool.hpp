@@ -20,9 +20,10 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "support/annotated_mutex.hpp"
 
 namespace vebo {
 
@@ -42,7 +43,8 @@ class ThreadPool {
   /// Exceptions thrown by workers are rethrown on the caller (first one).
   /// Concurrent callers serialize; nested calls run serially (see header
   /// comment).
-  void run_on_all(const std::function<void(std::size_t)>& fn);
+  void run_on_all(const std::function<void(std::size_t)>& fn)
+      EXCLUDES(region_mutex_, mutex_);
 
   /// Process-wide default pool, sized by VEBO_THREADS env var or hardware
   /// concurrency. Callable from any thread (regions serialize).
@@ -52,20 +54,22 @@ class ThreadPool {
   static std::size_t global_threads() { return global().num_threads(); }
 
  private:
-  void worker_loop(std::size_t id);
+  void worker_loop(std::size_t id) EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
   /// Held for the whole of a region: serializes concurrent run_on_all
-  /// callers. `mutex_` below stays the fine-grained job/wakeup lock.
-  std::mutex region_mutex_;
-  std::mutex mutex_;
+  /// callers. `mutex_` below stays the fine-grained job/wakeup lock and
+  /// nests inside it (run_on_all takes the region lock first, then the
+  /// job lock to publish/settle the region).
+  Mutex region_mutex_ ACQUIRED_BEFORE(mutex_);
+  Mutex mutex_;
   std::condition_variable cv_start_;
   std::condition_variable cv_done_;
-  const std::function<void(std::size_t)>* job_ = nullptr;
-  std::size_t generation_ = 0;
-  std::size_t pending_ = 0;
-  bool stop_ = false;
-  std::exception_ptr first_exception_;
+  const std::function<void(std::size_t)>* job_ GUARDED_BY(mutex_) = nullptr;
+  std::size_t generation_ GUARDED_BY(mutex_) = 0;
+  std::size_t pending_ GUARDED_BY(mutex_) = 0;
+  bool stop_ GUARDED_BY(mutex_) = false;
+  std::exception_ptr first_exception_ GUARDED_BY(mutex_);
 };
 
 }  // namespace vebo

@@ -84,7 +84,7 @@ void EnginePool::bind_safely(Entry& e, const SnapshotRef& snap) {
 
 EnginePool::Lease EnginePool::lease(const SnapshotRef& snapshot) {
   VEBO_CHECK(snapshot.valid(), "EnginePool::lease: empty snapshot ref");
-  std::unique_lock<std::mutex> lk(mutex_);
+  MutexLock lk(mutex_);
   bool counted_wait = false;
   for (;;) {
     // Prefer a free entry already bound to this epoch (no rebind, warm
@@ -123,25 +123,25 @@ EnginePool::Lease EnginePool::lease(const SnapshotRef& snapshot) {
       counted_wait = true;
       ++stats_.waits;
     }
-    available_.wait(lk);
+    available_.wait(lk.native_lock());
   }
 }
 
 void EnginePool::release_entry(Entry* e) {
   {
-    std::lock_guard<std::mutex> lk(mutex_);
+    MutexLock lk(mutex_);
     e->busy = false;
   }
   available_.notify_one();
 }
 
 std::size_t EnginePool::size() const {
-  std::lock_guard<std::mutex> lk(mutex_);
+  MutexLock lk(mutex_);
   return entries_.size();
 }
 
 std::size_t EnginePool::outstanding() const {
-  std::lock_guard<std::mutex> lk(mutex_);
+  MutexLock lk(mutex_);
   std::size_t busy = 0;
   for (const auto& e : entries_)
     if (e->busy) ++busy;
@@ -149,7 +149,7 @@ std::size_t EnginePool::outstanding() const {
 }
 
 EnginePoolStats EnginePool::stats() const {
-  std::lock_guard<std::mutex> lk(mutex_);
+  MutexLock lk(mutex_);
   return stats_;
 }
 

@@ -23,12 +23,12 @@
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "framework/engine.hpp"
 #include "parallel/thread_pool.hpp"
 #include "serve/snapshot_store.hpp"
+#include "support/annotated_mutex.hpp"
 
 namespace vebo::serve {
 
@@ -90,16 +90,20 @@ class EnginePool {
 
   /// Leases an engine bound to the given snapshot, rebinding or growing
   /// as needed; blocks only when max_engines leases are outstanding.
-  Lease lease(const SnapshotRef& snapshot);
+  Lease lease(const SnapshotRef& snapshot) EXCLUDES(mutex_);
 
-  std::size_t size() const;
+  std::size_t size() const EXCLUDES(mutex_);
   /// Leases currently outstanding (busy entries). 0 when every borrowed
   /// engine has been returned — the chaos tests' lease-leak invariant.
-  std::size_t outstanding() const;
+  std::size_t outstanding() const EXCLUDES(mutex_);
   const EnginePoolOptions& options() const { return opts_; }
-  EnginePoolStats stats() const;
+  EnginePoolStats stats() const EXCLUDES(mutex_);
 
  private:
+  /// The busy flag is pool-lock state; pool/engine/bound are deliberately
+  /// UNGUARDED — they are mutated only by bind_entry, which runs with the
+  /// entry exclusively owned (busy=true published under mutex_) and the
+  /// lock dropped, because binding can be arbitrarily expensive.
   struct Entry {
     std::unique_ptr<ThreadPool> pool;
     std::unique_ptr<Engine> engine;
@@ -108,17 +112,17 @@ class EnginePool {
   };
 
   const order::Partitioning* partitioning_for(const SnapshotRef& snap) const;
-  void bind_entry(Entry& e, const SnapshotRef& snap);
+  void bind_entry(Entry& e, const SnapshotRef& snap) EXCLUDES(mutex_);
   /// bind_entry with slot-leak protection: on a throw, resets the entry
   /// to idle, releases the slot, and rethrows.
-  void bind_safely(Entry& e, const SnapshotRef& snap);
-  void release_entry(Entry* e);
+  void bind_safely(Entry& e, const SnapshotRef& snap) EXCLUDES(mutex_);
+  void release_entry(Entry* e) EXCLUDES(mutex_);
 
   EnginePoolOptions opts_;
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   std::condition_variable available_;
-  std::vector<std::unique_ptr<Entry>> entries_;
-  EnginePoolStats stats_;
+  std::vector<std::unique_ptr<Entry>> entries_ GUARDED_BY(mutex_);
+  EnginePoolStats stats_ GUARDED_BY(mutex_);
 };
 
 }  // namespace vebo::serve

@@ -100,7 +100,7 @@ Submission GraphService::submit(Query q) {
   // an observer can therefore never see completed+failed+rejected+
   // in_flight drift from submitted.
   {
-    std::lock_guard<std::mutex> lk(queue_mutex_);
+    MutexLock lk(queue_mutex_);
     if (stopping_) {
       sub.status = SubmitStatus::Stopped;
     } else if (queue_.size() >= opts_.queue_capacity) {
@@ -110,7 +110,7 @@ Submission GraphService::submit(Query q) {
     } else {
       sub.status = SubmitStatus::Accepted;
       {
-        std::lock_guard<std::mutex> slk(stats_mutex_);
+        MutexLock slk(stats_mutex_);
         ++stats_.submitted;
         ++stats_.in_flight;
       }
@@ -125,7 +125,7 @@ Submission GraphService::submit(Query q) {
   // invariant holds for observers during the lookup too.
   if (sub.status == SubmitStatus::QueueFull && opts_.serve_stale) {
     {
-      std::lock_guard<std::mutex> lk(stats_mutex_);
+      MutexLock lk(stats_mutex_);
       ++stats_.submitted;
       ++stats_.in_flight;
     }
@@ -134,7 +134,7 @@ Submission GraphService::submit(Query q) {
       return sub;
     }
     {
-      std::lock_guard<std::mutex> lk(stats_mutex_);
+      MutexLock lk(stats_mutex_);
       --stats_.in_flight;
       ++stats_.rejected;
       ++stats_.errors_by_code[code_index(ErrorCode::Overloaded)];
@@ -149,7 +149,7 @@ Submission GraphService::submit(Query q) {
     queue_cv_.notify_one();
   } else {
     {
-      std::lock_guard<std::mutex> lk(stats_mutex_);
+      MutexLock lk(stats_mutex_);
       ++stats_.submitted;
       ++stats_.rejected;
       // Rejections carry no future, so the code lands in the counter
@@ -215,9 +215,9 @@ std::uint64_t GraphService::publish_session(stream::StreamSession& session) {
 }
 
 void GraphService::stop() {
-  std::lock_guard<std::mutex> stop_lk(stop_mutex_);
+  MutexLock stop_lk(stop_mutex_);
   {
-    std::lock_guard<std::mutex> lk(queue_mutex_);
+    MutexLock lk(queue_mutex_);
     stopping_ = true;
   }
   queue_cv_.notify_all();
@@ -230,14 +230,19 @@ void GraphService::worker_loop(std::size_t worker_idx) {
   for (;;) {
     Item item;
     {
-      std::unique_lock<std::mutex> lk(queue_mutex_);
-      queue_cv_.wait(lk, [this] { return stopping_ || !queue_.empty(); });
+      // Open-coded wait predicate: a lambda body is a separate function
+      // to the thread-safety analysis, so the guarded reads live here,
+      // where the capability is visibly held.
+      MutexLock lk(queue_mutex_);
+      while (!stopping_ && queue_.empty()) queue_cv_.wait(lk.native_lock());
       if (queue_.empty()) return;  // stopping_ && drained
       item = std::move(queue_.front());
       queue_.pop_front();
     }
-    // Heartbeat: busy from pickup to promise resolution, so
-    // health().oldest_running_ms sees queue-stall and run time alike.
+    // Heartbeat: busy from pickup until settle_heartbeat() right before
+    // promise resolution, so health().oldest_running_ms sees queue-stall
+    // and run time alike, and a returned future::get() never observes
+    // its own query still in flight.
     ws.pickup_us = steady_now_us();
     ws.busy_since_us.store(ws.pickup_us, std::memory_order_release);
     // Chaos hook: a stalled worker between pickup and execution — the
@@ -248,10 +253,17 @@ void GraphService::worker_loop(std::size_t worker_idx) {
     if (FaultInjector::instance().delay_point(
             FaultInjector::Hook::WorkerStall))
       ws.pickup_us = steady_now_us();
+    // Every process() path settles the heartbeat itself (see
+    // settle_heartbeat): it must happen BEFORE the promise resolves,
+    // which only process() can order.
     process(item, ws);
-    ws.processed.fetch_add(1, std::memory_order_relaxed);
-    ws.busy_since_us.store(-1, std::memory_order_release);
   }
+}
+
+void GraphService::settle_heartbeat(WorkerState* ws) {
+  if (ws == nullptr) return;
+  ws->processed.fetch_add(1, std::memory_order_relaxed);
+  ws->busy_since_us.store(-1, std::memory_order_release);
 }
 
 void GraphService::process(Item& item, WorkerState& ws) {
@@ -293,15 +305,16 @@ void GraphService::process(Item& item, WorkerState& ws) {
   // no engine lease, no run.
   if (item.ctx.cancelled()) {
     {
-      std::lock_guard<std::mutex> lk(stats_mutex_);
+      MutexLock lk(stats_mutex_);
       ++stats_.shed_cancelled;
     }
-    fail(item, ErrorCode::Cancelled, "query cancelled while queued", sampling);
+    fail(item, ErrorCode::Cancelled, "query cancelled while queued", sampling,
+         &ws);
     return;
   }
   if (item.ctx.deadline_expired()) {
     {
-      std::lock_guard<std::mutex> lk(stats_mutex_);
+      MutexLock lk(stats_mutex_);
       ++stats_.shed_deadline;
     }
     // Deadline pressure is exactly what stale-serve degrades under: a
@@ -316,7 +329,7 @@ void GraphService::process(Item& item, WorkerState& ws) {
     }
     fail(item, ErrorCode::DeadlineExceeded,
          "query deadline expired while queued (shed before execution)",
-         sampling);
+         sampling, &ws);
     return;
   }
   try {
@@ -375,7 +388,7 @@ void GraphService::process(Item& item, WorkerState& ws) {
       else if (obs::stage_wanted())
         probe_start = obs::Tracer::now_ns();
       {
-        std::lock_guard<std::mutex> lk(cache_mutex_);
+        MutexLock lk(cache_mutex_);
         if (cache_version_ == snap.version()) {
           if (const ResultCache::Value* v = cache_.find(key)) {
             r.value = v->checksum;
@@ -468,7 +481,7 @@ void GraphService::process(Item& item, WorkerState& ws) {
       if (opts_.enable_cache) {
         std::uint64_t evicted_before = 0, evicted_after = 0;
         {
-          std::lock_guard<std::mutex> lk(cache_mutex_);
+          MutexLock lk(cache_mutex_);
           evicted_before = cache_.evictions();
           if (cache_version_ != snap.version()) {
             // First entry for a new epoch (or a publish raced us): start a
@@ -494,7 +507,7 @@ void GraphService::process(Item& item, WorkerState& ws) {
           evicted_after = cache_.evictions();
         }
         if (evicted_after != evicted_before) {
-          std::lock_guard<std::mutex> slk(stats_mutex_);
+          MutexLock slk(stats_mutex_);
           stats_.evictions += evicted_after - evicted_before;
         }
       }
@@ -519,7 +532,7 @@ void GraphService::process(Item& item, WorkerState& ws) {
     }
     record(r.latency_ms, &ws);
     {
-      std::lock_guard<std::mutex> lk(stats_mutex_);
+      MutexLock lk(stats_mutex_);
       ++stats_.completed;
       --stats_.in_flight;
       if (hit) ++stats_.cache_hits;
@@ -533,11 +546,12 @@ void GraphService::process(Item& item, WorkerState& ws) {
                     r.version);
     observe_settled(item.q.algo, r.latency_ms, obs::SlidingWindow::kOk,
                     settled_ns);
+    settle_heartbeat(&ws);
     item.promise.set_value(r);
   } catch (const ServiceError& e) {
     // Already typed: count the code and hand the original object on.
     {
-      std::lock_guard<std::mutex> lk(stats_mutex_);
+      MutexLock lk(stats_mutex_);
       ++stats_.failed;
       --stats_.in_flight;
       ++stats_.errors_by_code[code_index(e.code())];
@@ -545,27 +559,28 @@ void GraphService::process(Item& item, WorkerState& ws) {
     const double lat_ms = item.submitted.elapsed_ms();
     if (sampling) settle_sample(item, lat_ms, /*ok=*/false, e.code(), 0);
     observe_settled(item.q.algo, lat_ms, code_index(e.code()));
+    settle_heartbeat(&ws);
     item.promise.set_exception(std::current_exception());
   } catch (const CancelledError& e) {
     // Cooperative checkpoint fired mid-run (within one superstep of the
     // cancel); retype so clients branch on code().
-    fail(item, ErrorCode::Cancelled, e.what(), sampling);
+    fail(item, ErrorCode::Cancelled, e.what(), sampling, &ws);
   } catch (const DeadlineExceededError& e) {
-    fail(item, ErrorCode::DeadlineExceeded, e.what(), sampling);
+    fail(item, ErrorCode::DeadlineExceeded, e.what(), sampling, &ws);
   } catch (const std::exception& e) {
     // Algorithm throw, translation failure, allocation failure, injected
     // fault — anything that escaped the run. The engine lease and the
     // snapshot pin were released by RAII on the unwind.
-    fail(item, ErrorCode::Internal, e.what(), sampling);
+    fail(item, ErrorCode::Internal, e.what(), sampling, &ws);
   } catch (...) {
-    fail(item, ErrorCode::Internal, "unknown exception", sampling);
+    fail(item, ErrorCode::Internal, "unknown exception", sampling, &ws);
   }
 }
 
 void GraphService::fail(Item& item, ErrorCode code, const std::string& what,
-                        bool sampled) {
+                        bool sampled, WorkerState* ws) {
   {
-    std::lock_guard<std::mutex> lk(stats_mutex_);
+    MutexLock lk(stats_mutex_);
     ++stats_.failed;
     --stats_.in_flight;
     ++stats_.errors_by_code[code_index(code)];
@@ -575,6 +590,7 @@ void GraphService::fail(Item& item, ErrorCode code, const std::string& what,
   // forensic case tail sampling exists for.
   if (sampled) settle_sample(item, lat_ms, /*ok=*/false, code, 0);
   observe_settled(item.q.algo, lat_ms, code_index(code));
+  settle_heartbeat(ws);
   // set_exception, not throw: the worker thread must survive the failure
   // and the client must see it — exactly once each.
   item.promise.set_exception(
@@ -696,7 +712,7 @@ bool GraphService::try_serve_stale(Item& item, WorkerState* ws) {
   const CacheKey key = CacheKey::make(spec->code, norm);
   QueryResult r;
   {
-    std::lock_guard<std::mutex> lk(cache_mutex_);
+    MutexLock lk(cache_mutex_);
     const ResultCache::Value* v = cache_.find_stale(key);
     if (v == nullptr) return false;
     r.value = v->checksum;
@@ -710,13 +726,14 @@ bool GraphService::try_serve_stale(Item& item, WorkerState* ws) {
   r.latency_ms = item.submitted.elapsed_ms();
   record(r.latency_ms, ws);
   {
-    std::lock_guard<std::mutex> lk(stats_mutex_);
+    MutexLock lk(stats_mutex_);
     ++stats_.completed;
     ++stats_.stale_served;
     --stats_.in_flight;
   }
   // A stale answer is a success to the client; the window sees it as one.
   observe_settled(item.q.algo, r.latency_ms, obs::SlidingWindow::kOk);
+  settle_heartbeat(ws);
   item.promise.set_value(r);
   return true;
 }
@@ -724,7 +741,7 @@ bool GraphService::try_serve_stale(Item& item, WorkerState* ws) {
 void GraphService::invalidate_cache(std::uint64_t published_version) {
   bool wiped = false;
   {
-    std::lock_guard<std::mutex> lk(cache_mutex_);
+    MutexLock lk(cache_mutex_);
     wiped = cache_.size() != 0;
     if (opts_.serve_stale) {
       // Rotate unconditionally: the retired generation must never lag
@@ -743,7 +760,7 @@ void GraphService::invalidate_cache(std::uint64_t published_version) {
     }
   }
   if (wiped) {
-    std::lock_guard<std::mutex> slk(stats_mutex_);
+    MutexLock slk(stats_mutex_);
     ++stats_.invalidations;
   }
 }
@@ -751,7 +768,7 @@ void GraphService::invalidate_cache(std::uint64_t published_version) {
 ServiceHealth GraphService::health() const {
   ServiceHealth h;
   {
-    std::lock_guard<std::mutex> lk(queue_mutex_);
+    MutexLock lk(queue_mutex_);
     h.accepting = !stopping_;
     h.queue_depth = queue_.size();
   }
@@ -804,19 +821,19 @@ void GraphService::record(double latency_ms, WorkerState* ws) {
   if (ws != nullptr) {
     // Worker completions land in the worker's own histogram: uncontended
     // in steady state (latency() is the only other reader).
-    std::lock_guard<std::mutex> lk(ws->lat_mutex);
+    MutexLock lk(ws->lat_mutex);
     ws->lat_buckets.add(bucket);
     ws->lat_sum_ms += latency_ms;
   } else {
     // Off-worker samples (submit-thread stale serves).
-    std::lock_guard<std::mutex> lk(stats_mutex_);
+    MutexLock lk(stats_mutex_);
     latency_buckets_.add(bucket);
     latency_sum_ms_ += latency_ms;
   }
 }
 
 GraphServiceStats GraphService::stats() const {
-  std::lock_guard<std::mutex> lk(stats_mutex_);
+  MutexLock lk(stats_mutex_);
   return stats_;
 }
 
@@ -826,12 +843,12 @@ LatencySummary GraphService::latency() const {
   Histogram merged;
   double sum_ms = 0;
   {
-    std::lock_guard<std::mutex> lk(stats_mutex_);
+    MutexLock lk(stats_mutex_);
     merged = latency_buckets_;
     sum_ms = latency_sum_ms_;
   }
   for (const auto& ws : worker_state_) {
-    std::lock_guard<std::mutex> lk(ws->lat_mutex);
+    MutexLock lk(ws->lat_mutex);
     merged.merge(ws->lat_buckets);
     sum_ms += ws->lat_sum_ms;
   }
@@ -904,7 +921,7 @@ void GraphService::collect_metrics(std::vector<obs::MetricSample>& out) const {
        "cache generations wiped or rotated by publish",
        static_cast<double>(st.invalidations));
   {
-    std::lock_guard<std::mutex> lk(cache_mutex_);
+    MutexLock lk(cache_mutex_);
     emit(MetricType::Counter, "vebo_cache_evictions_total",
          "entries LRU-evicted from a full cache",
          static_cast<double>(cache_.evictions()));

@@ -63,13 +63,14 @@
 
 #include <array>
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "algorithms/query.hpp"
@@ -85,6 +86,7 @@
 #include "serve/service_error.hpp"
 #include "serve/snapshot_store.hpp"
 #include "stream/session.hpp"
+#include "support/annotated_mutex.hpp"
 #include "support/histogram.hpp"
 #include "support/timer.hpp"
 
@@ -169,6 +171,13 @@ enum class ResultKind : std::uint8_t {
 };
 
 struct Query {
+  Query() = default;
+  /// The `{algo, source}` shorthand used throughout: a converting
+  /// constructor (not aggregate init) so partial braces stay clean
+  /// under -Werror=missing-field-initializers.
+  Query(std::string algo_code, VertexId src = 0)
+      : algo(std::move(algo_code)), source(src) {}
+
   std::string algo;     ///< registry code: "BFS", "CC", "PR", ...
   VertexId source = 0;  ///< legacy source shorthand; see `params`
   /// Typed parameters, validated against the algorithm's ParamSchema.
@@ -314,7 +323,7 @@ class GraphService {
   /// Non-blocking admission. Rejections carry no future. In stale-serve
   /// mode a QueueFull submit may instead be accepted and answered
   /// immediately from the previous-epoch generation (stale=true).
-  Submission submit(Query q);
+  Submission submit(Query q) EXCLUDES(queue_mutex_, stats_mutex_);
 
   /// Convenience: submit and wait; throws ServiceError(Overloaded) when
   /// every attempt is rejected and rethrows query failures. `retry`
@@ -336,11 +345,11 @@ class GraphService {
 
   /// Stops accepting work, drains the queue, joins the workers. Idempotent;
   /// also run by the destructor.
-  void stop();
+  void stop() EXCLUDES(stop_mutex_, queue_mutex_);
 
-  GraphServiceStats stats() const;
-  LatencySummary latency() const;
-  ServiceHealth health() const;
+  GraphServiceStats stats() const EXCLUDES(stats_mutex_);
+  LatencySummary latency() const EXCLUDES(stats_mutex_);
+  ServiceHealth health() const EXCLUDES(queue_mutex_);
   const SnapshotStore& store() const { return store_; }
   const EnginePool& engine_pool() const { return pool_; }
   /// The tail-sampling sink: the last trace_store_capacity keeper
@@ -377,19 +386,30 @@ class GraphService {
     /// queue-wait end / probe start from it instead of paying a second
     /// clock read per query. Worker-thread private.
     std::int64_t pickup_us = 0;
-    std::mutex lat_mutex;
-    Histogram lat_buckets;  ///< log_bucket(latency us), see record()
-    double lat_sum_ms = 0;
+    Mutex lat_mutex;
+    /// log_bucket(latency us), see record()
+    Histogram lat_buckets GUARDED_BY(lat_mutex);
+    double lat_sum_ms GUARDED_BY(lat_mutex) = 0;
   };
 
-  void worker_loop(std::size_t worker_idx);
-  void process(Item& item, WorkerState& ws);
+  void worker_loop(std::size_t worker_idx) EXCLUDES(queue_mutex_);
+  void process(Item& item, WorkerState& ws)
+      EXCLUDES(stats_mutex_, cache_mutex_);
   /// Fails the item's future with a ServiceError of the given code,
   /// counting `failed` and the per-code counter exactly once. `sampled`
   /// = the caller armed a tail-sampling trace that must be settled
-  /// (failures are always kept).
+  /// (failures are always kept). Settles `ws`'s heartbeat before the
+  /// promise resolves.
   void fail(Item& item, ErrorCode code, const std::string& what,
-            bool sampled = false);
+            bool sampled = false, WorkerState* ws = nullptr)
+      EXCLUDES(stats_mutex_);
+  /// Settles the worker heartbeat for one query: bumps `processed` and
+  /// stamps idle. MUST run before the item's promise resolves (the same
+  /// order the stats ledger settles in) — a client whose future::get()
+  /// returned must observe itself gone from health(): in_flight 0, age
+  /// 0. Settling after resolution leaves a window where the client sees
+  /// its own finished query still running.
+  static void settle_heartbeat(WorkerState* ws);
   /// Tail-sampling keep/drop decision at completion: failures and
   /// deadline hits always keep; successes keep iff over the rolling
   /// threshold. Ends the worker's reusable trace either way.
@@ -412,24 +432,27 @@ class GraphService {
   /// (overload / deadline shed). Returns true iff the promise was
   /// fulfilled from the previous-epoch generation. `ws` routes the
   /// latency sample (null from the submit thread).
-  bool try_serve_stale(Item& item, WorkerState* ws);
-  void invalidate_cache(std::uint64_t published_version);
+  bool try_serve_stale(Item& item, WorkerState* ws)
+      EXCLUDES(cache_mutex_, stats_mutex_);
+  void invalidate_cache(std::uint64_t published_version)
+      EXCLUDES(cache_mutex_, stats_mutex_);
   /// Records a completion latency into `ws`'s histogram, or the
   /// service-level one when null (submit-thread stale serves).
-  void record(double latency_ms, WorkerState* ws);
+  void record(double latency_ms, WorkerState* ws) EXCLUDES(stats_mutex_);
   /// Emits every service/cache/pool/snapshot stat as metric samples
   /// (the collector registered when options.metrics is set).
-  void collect_metrics(std::vector<obs::MetricSample>& out) const;
+  void collect_metrics(std::vector<obs::MetricSample>& out) const
+      EXCLUDES(cache_mutex_, stats_mutex_);
 
   SnapshotStore& store_;
   GraphServiceOptions opts_;
   EnginePool pool_;
 
-  mutable std::mutex queue_mutex_;  ///< mutable: health() reads depth
+  mutable Mutex queue_mutex_;  ///< mutable: health() reads depth
   std::condition_variable queue_cv_;
-  std::deque<Item> queue_;
-  bool stopping_ = false;
-  std::mutex stop_mutex_;  ///< serializes stop() callers (idempotence)
+  std::deque<Item> queue_ GUARDED_BY(queue_mutex_);
+  bool stopping_ GUARDED_BY(queue_mutex_) = false;
+  Mutex stop_mutex_;  ///< serializes stop() callers (idempotence)
   std::vector<std::thread> workers_;
   /// Heartbeats, one per worker; stable addresses (vector of unique_ptr
   /// because atomics are not movable).
@@ -442,18 +465,21 @@ class GraphService {
   /// stale-serve mode epoch changes rotate instead of wiping:
   /// `stale_version_` names the epoch the retired generation was
   /// computed on.
-  mutable std::mutex cache_mutex_;
-  std::uint64_t cache_version_ = 0;
-  std::uint64_t stale_version_ = 0;
-  ResultCache cache_;
+  mutable Mutex cache_mutex_;
+  std::uint64_t cache_version_ GUARDED_BY(cache_mutex_) = 0;
+  std::uint64_t stale_version_ GUARDED_BY(cache_mutex_) = 0;
+  ResultCache cache_ GUARDED_BY(cache_mutex_);
 
-  mutable std::mutex stats_mutex_;
-  GraphServiceStats stats_;
+  /// Lock order: the ledger nests stats_mutex_ INSIDE queue_mutex_
+  /// (submit counts admission before a worker can pop the item); nothing
+  /// ever takes queue_mutex_ while holding stats_mutex_.
+  mutable Mutex stats_mutex_ ACQUIRED_AFTER(queue_mutex_);
+  GraphServiceStats stats_ GUARDED_BY(stats_mutex_);
   /// Service-level latency histogram: samples recorded off-worker
   /// (submit-thread stale serves). Worker completions land in the
   /// per-worker histograms; latency() merges all of them.
-  Histogram latency_buckets_;
-  double latency_sum_ms_ = 0;
+  Histogram latency_buckets_ GUARDED_BY(stats_mutex_);
+  double latency_sum_ms_ GUARDED_BY(stats_mutex_) = 0;
 
   /// Always-on telemetry state. The window is null when telemetry.window
   /// is off; the trace store exists regardless (manual pushes possible).

@@ -13,7 +13,11 @@
 // payload). It is deliberately NOT thread-safe and NOT epoch-aware: the
 // service serializes access under its cache mutex and wipes the cache
 // wholesale on epoch changes (publish, or lazily on observing a newer
-// version). Within an epoch, overflow evicts the least-recently-used
+// version). The thread-safety analysis sees this contract from the
+// OWNER's side: GraphService declares its instance
+// `ResultCache cache_ GUARDED_BY(cache_mutex_)` (annotated_mutex.hpp),
+// so every unlocked touch is a compile error there — this class itself
+// carries no lock and no capability on purpose. Within an epoch, overflow evicts the least-recently-used
 // entry — never the whole cache — and counts it separately from wipes.
 // A capacity of 0 keeps at most one entry (every insert evicts the
 // previous one); services that want no caching disable it instead.

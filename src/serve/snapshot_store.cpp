@@ -44,7 +44,7 @@ std::uint64_t SnapshotStore::publish(std::shared_ptr<const Graph> graph,
 
   std::shared_ptr<const Snapshot> prev;  // destroyed outside the lock
   {
-    std::lock_guard<std::mutex> lk(mutex_);
+    MutexLock lk(mutex_);
     if (v > version_.load(std::memory_order_relaxed)) {
       prev = std::move(current_);
       current_ = std::move(next);
@@ -62,7 +62,7 @@ SnapshotRef SnapshotStore::acquire() const {
   // Chaos hook: a slow acquire stretches the read side of the
   // publish/acquire race (outside the lock — delay, don't serialize).
   FaultInjector::instance().delay_point(FaultInjector::Hook::AcquireDelay);
-  std::lock_guard<std::mutex> lk(mutex_);
+  MutexLock lk(mutex_);
   return SnapshotRef(current_);
 }
 

@@ -20,12 +20,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <utility>
 
 #include "graph/graph.hpp"
 #include "graph/permute.hpp"
 #include "order/partition.hpp"
+#include "support/annotated_mutex.hpp"
 #include "support/error.hpp"
 
 namespace vebo::serve {
@@ -106,12 +106,13 @@ class SnapshotStore {
   /// topology is one writer thread.
   std::uint64_t publish(std::shared_ptr<const Graph> graph,
                         order::Partitioning partitioning,
-                        std::shared_ptr<const Permutation> perm = nullptr);
+                        std::shared_ptr<const Permutation> perm = nullptr)
+      EXCLUDES(mutex_);
 
   /// Pins and returns the current epoch (empty ref if nothing has been
   /// published yet). Safe from any thread, never blocks on a publish in
   /// progress beyond the pointer swap.
-  SnapshotRef acquire() const;
+  SnapshotRef acquire() const EXCLUDES(mutex_);
 
   /// Version of the current epoch (0 before the first publish).
   std::uint64_t version() const {
@@ -134,8 +135,8 @@ class SnapshotStore {
   std::shared_ptr<Counters> counters_ = std::make_shared<Counters>();
   std::atomic<std::uint64_t> next_version_{0};  ///< version allocator
   std::atomic<std::uint64_t> version_{0};       ///< current epoch
-  mutable std::mutex mutex_;  ///< guards current_ swap/copy only
-  std::shared_ptr<const Snapshot> current_;
+  mutable Mutex mutex_;  ///< leaf lock: guards current_ swap/copy only
+  std::shared_ptr<const Snapshot> current_ GUARDED_BY(mutex_);
 };
 
 }  // namespace vebo::serve

@@ -11,6 +11,11 @@
 // back to a full `order::vebo_from_degrees` re-run when the dirty fraction
 // passes `full_rebuild_fraction` or the refinement cannot restore the
 // bounds.
+//
+// Thread-safety annotations (support/annotated_mutex.hpp): none, on
+// purpose — a maintainer is owned by a single StreamSession and inherits
+// its single-writer contract; there is no shared state to put a
+// capability on.
 #pragma once
 
 #include <cstdint>
@@ -38,7 +43,7 @@ struct RebalanceOptions {
   /// VEBO — the incremental path no longer saves work.
   double full_rebuild_fraction = 0.25;
   /// Options forwarded to full VEBO runs.
-  order::VeboOptions vebo;
+  order::VeboOptions vebo{};
 };
 
 enum class RebalanceAction { None, Incremental, Full };

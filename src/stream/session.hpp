@@ -17,6 +17,14 @@
 // (see shared_snapshot(), which exists for that publication path — the
 // shared_ptr keeps a published graph alive after the session moves on to
 // newer versions).
+//
+// Thread-safety annotations (support/annotated_mutex.hpp): none, on
+// purpose. The class holds no lock because the single-writer contract
+// above means there is nothing to guard — every member is confined to
+// the owning thread, and cross-thread publication happens through
+// SnapshotStore's annotated leaf mutex. Adding a Mutex here would
+// launder a contract violation into a slow correct-looking program
+// instead of a TSan report.
 #pragma once
 
 #include <memory>

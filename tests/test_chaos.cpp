@@ -282,6 +282,42 @@ TEST(Chaos, HealthHeartbeatsAndStallVisibility) {
   EXPECT_EQ(after.oldest_running_ms, 0.0);
 }
 
+// Regression (PR 9): the per-worker heartbeat settles BEFORE the promise
+// resolves, on every path — success, served-stale, and failure alike. A
+// client whose future::get() has returned must never observe its own
+// finished query still in flight: the worker used to clear busy_since_us
+// only after process() returned, leaving a window where health() showed
+// in_flight == 1 and a nonzero age for an already-answered query.
+TEST(Chaos, HeartbeatSettlesBeforePromiseResolves) {
+  DisarmGuard guard;
+
+  const Graph base = gen::rmat(8, 4, 306);
+  StreamSession session(base);
+  SnapshotStore store;
+  GraphServiceOptions o;
+  o.workers = 1;  // one worker: any leftover busy heartbeat is OUR query
+  GraphService service(store, o);
+  service.publish_session(session);
+
+  for (int i = 0; i < 50; ++i) {
+    // Success path.
+    auto sub = service.submit(Query{"CC", 0});
+    ASSERT_TRUE(sub.accepted());
+    (void)sub.result.get();
+    serve::ServiceHealth h = service.health();
+    EXPECT_EQ(h.in_flight, 0u) << "iteration " << i;
+    EXPECT_EQ(h.oldest_running_ms, 0.0) << "iteration " << i;
+
+    // Failure path (unknown algorithm -> fail() -> set_exception).
+    auto bad = service.submit(Query{"NOPE", 0});
+    ASSERT_TRUE(bad.accepted());
+    EXPECT_THROW((void)bad.result.get(), serve::ServiceError);
+    h = service.health();
+    EXPECT_EQ(h.in_flight, 0u) << "iteration " << i;
+    EXPECT_EQ(h.oldest_running_ms, 0.0) << "iteration " << i;
+  }
+}
+
 // The windowed view and the SLO verdict stay coherent while faults fly
 // and the flight recorder is armed: an observer hammers health() for
 // range violations, the storm pushes the burn rate past 1, and the

@@ -331,7 +331,7 @@ struct FirstOnlyFunctor {
     (*hits)[v].fetch_add(1, std::memory_order_relaxed);
     return true;
   }
-  bool update_atomic(VertexId u, VertexId v) {
+  bool update_atomic(VertexId /*u*/, VertexId v) {
     if ((*hits)[v].fetch_add(1, std::memory_order_relaxed) == 0) return true;
     (*hits)[v].fetch_sub(1, std::memory_order_relaxed);
     return false;
@@ -353,8 +353,11 @@ TEST(EdgeMap, PullEarlyExitDeliversAtMostOneEdgePerDestination) {
            {.direction = Direction::Pull, .flags = kPullEarlyExit});
   for (VertexId v = 0; v < n; ++v) ASSERT_LE(hits[v].load(), 1u) << v;
   // Every destination with at least one in-edge got exactly one.
-  for (VertexId v = 0; v < n; ++v)
-    if (g.in_degree(v) > 0) ASSERT_EQ(hits[v].load(), 1u) << v;
+  for (VertexId v = 0; v < n; ++v) {
+    if (g.in_degree(v) > 0) {
+      ASSERT_EQ(hits[v].load(), 1u) << v;
+    }
+  }
 }
 
 TEST(EdgeMap, PushRespectsCondPerDelivery) {

@@ -292,7 +292,9 @@ TEST(Tracer, BeginRecordsScopedSpansInStartOrder) {
     EXPECT_EQ(t.spans[i].kind, SpanKind::Iteration);
     EXPECT_EQ(t.spans[i].a, i);  // start order == record order here
     EXPECT_GE(t.spans[i].start_ns, t.begin_ns);
-    if (i > 0) EXPECT_GE(t.spans[i].start_ns, t.spans[i - 1].start_ns);
+    if (i > 0) {
+      EXPECT_GE(t.spans[i].start_ns, t.spans[i - 1].start_ns);
+    }
   }
 }
 

@@ -143,7 +143,9 @@ TEST(DeltaGraph, ReportsInDegreeDeltas) {
   for (const auto& [v, d] : r.in_degree_delta) {
     EXPECT_NE(d, 0);
     changed.insert({v, 0});
-    if (v == 2) EXPECT_EQ(d, 1);
+    if (v == 2) {
+      EXPECT_EQ(d, 1);
+    }
   }
   EXPECT_EQ(changed.count({2, 0}), 1u);
   EXPECT_EQ(changed.count({1, 0}), 0u);  // net zero change is not reported
@@ -364,10 +366,11 @@ TEST(VeboRefine, PreservesRelativeOrderOfCleanVertices) {
       const VertexId pb = refined.partitioning.owner(refined.perm[b]);
       const VertexId qa = base.partitioning.owner(base.perm[a]);
       const VertexId qb = base.partitioning.owner(base.perm[b]);
-      if (pa == pb && qa == qb && pa == qa)
+      if (pa == pb && qa == qb && pa == qa) {
         EXPECT_EQ(base.perm[a] < base.perm[b],
                   refined.perm[a] < refined.perm[b])
             << "a=" << a << " b=" << b;
+      }
     }
 }
 

@@ -350,7 +350,7 @@ TEST(Error, AssertThrows) { EXPECT_THROW(VEBO_ASSERT(1 == 2), Error); }
 TEST(Timer, MeasuresElapsed) {
   Timer t;
   volatile double x = 0;
-  for (int i = 0; i < 100000; ++i) x += i;
+  for (int i = 0; i < 100000; ++i) x = x + i;
   EXPECT_GT(t.elapsed(), 0.0);
   EXPECT_GE(t.elapsed_ms(), t.elapsed());  // ms >= s numerically
 }
@@ -360,7 +360,7 @@ TEST(Timer, ScopedAccumulatorAdds) {
   {
     ScopedAccumulator acc(sink);
     volatile double x = 0;
-    for (int i = 0; i < 10000; ++i) x += i;
+    for (int i = 0; i < 10000; ++i) x = x + i;
   }
   EXPECT_GT(sink, 0.0);
 }

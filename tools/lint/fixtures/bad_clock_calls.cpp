@@ -1,0 +1,9 @@
+// vebo-lint-fixture: clock-calls
+// Known-bad: a raw clock read outside the sanctioned telemetry sites.
+#include <chrono>
+
+long stamp_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}

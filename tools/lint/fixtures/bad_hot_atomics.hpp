@@ -1,0 +1,10 @@
+// vebo-lint-fixture: hot-atomics
+// vebo-lint: hot-path-atomics
+// Known-bad: default-seq_cst load/store on a hot-path atomic.
+#include <atomic>
+
+struct Armed {
+  std::atomic<bool> armed{false};
+  bool check() { return armed.load(); }
+  void arm() { armed.store(true); }
+};

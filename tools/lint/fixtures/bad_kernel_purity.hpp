@@ -1,0 +1,15 @@
+// vebo-lint-fixture: kernel-purity
+// Known-bad: a per-edge tracing/cancellation site inside a dense kernel.
+
+template <typename Graph, typename F, typename Probe, typename Sink>
+void edge_map_pull_range(const Graph& g, F& f, const Probe& probe,
+                         Sink& sink, int lo, int hi, bool early_exit) {
+  for (int v = lo; v < hi; ++v) {
+    eng.poll_cancellation();
+    for (int u : g.in_neighbors(v)) {
+      if (!probe(u)) continue;
+      if (f.update(u, v)) sink.set(v);
+      if (early_exit && !f.cond(v)) break;
+    }
+  }
+}

@@ -1,0 +1,7 @@
+// vebo-lint-fixture: metric-names
+// Known-bad: a metric name not pinned by tests/test_obs.cpp.
+
+void collect(Emitter& emit) {
+  emit(MetricType::Counter, "vebo_totally_unpinned_total",
+       "a metric the exposition test has never heard of", 1.0);
+}

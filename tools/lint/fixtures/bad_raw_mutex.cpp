@@ -1,0 +1,12 @@
+// vebo-lint-fixture: raw-mutex
+// Known-bad: a raw std::mutex instead of the annotated vebo::Mutex.
+#include <mutex>
+
+struct Counter {
+  std::mutex m;
+  long n = 0;
+  void bump() {
+    std::lock_guard<std::mutex> lk(m);
+    ++n;
+  }
+};

@@ -1,0 +1,11 @@
+// vebo-lint-fixture: bad-suppression
+// Known-bad: a suppression comment with no justification text.
+#include <chrono>
+
+long stamp_us() {
+  // vebo-lint: disable=clock-calls
+  auto t = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             t.time_since_epoch())
+      .count();
+}
