@@ -2,6 +2,7 @@
 
 #include <atomic>
 
+#include "algorithms/incremental.hpp"
 #include "algorithms/spmv.hpp"  // edge_weight
 #include "framework/edgemap.hpp"
 #include "support/error.hpp"
@@ -71,6 +72,17 @@ BellmanFordResult bellman_ford(const Engine& eng, VertexId source) {
   return res;
 }
 
+namespace {
+
+QueryPayload run_bf_query(const Engine& eng, const QueryParams& p) {
+  BellmanFordResult r = bellman_ford(eng, p.get_vertex("source"));
+  QueryPayload out = QueryPayload::vertex_doubles(std::move(r.distance));
+  out.aux = r.rounds;
+  return out;
+}
+
+}  // namespace
+
 AlgorithmSpec bellman_ford_spec() {
   AlgorithmSpec s;
   s.code = "BF";
@@ -80,11 +92,31 @@ AlgorithmSpec bellman_ford_spec() {
   s.params = ParamSchema{
       {"source", ParamType::Int, std::int64_t{0}, "start vertex id"}};
   s.run = [](const Engine& eng, const QueryParams& p, const QueryContext&) {
-    BellmanFordResult r = bellman_ford(eng, p.get_vertex("source"));
-    QueryPayload out = QueryPayload::vertex_doubles(std::move(r.distance));
-    out.aux = r.rounds;
+    return run_bf_query(eng, p);
+  };
+  s.refresh = [](const Engine& eng, const QueryParams& p,
+                 const QueryPayload& prev, const EdgeDelta& delta,
+                 const QueryContext&) {
+    const VertexId n = eng.graph().num_vertices();
+    const VertexId src = p.get_vertex("source");
+    if (prev.kind() != PayloadKind::VertexDoubles ||
+        prev.doubles().size() != n || src >= n ||
+        prev.doubles()[src] != 0.0 ||
+        !refresh_worthwhile(eng, delta, kRefreshRunFallbackFraction))
+      return run_bf_query(eng, p);
+    // Bit-exact: every distance is a left-folded path sum, and both the
+    // scratch relaxation and the repair converge to the minimum over the
+    // same candidate set.
+    QueryPayload out = QueryPayload::vertex_doubles(
+        refresh_bf_distances(eng, src, prev.doubles(), delta));
+    out.aux = prev.aux;  // round count of the original run
     return out;
   };
+  // edge_weight(u, v) is a pure function of *snapshot* ids, so a repair
+  // against a payload translated across a re-permuting publish would mix
+  // two different weight functions. The serving layer only calls this
+  // hook when the permutation is unchanged.
+  s.refresh_needs_stable_perm = true;
   s.checksum = [](const QueryPayload& p) {
     double reached = 0;
     for (double d : p.doubles())

@@ -2,6 +2,7 @@
 
 #include <atomic>
 
+#include "algorithms/incremental.hpp"
 #include "framework/edgemap.hpp"
 #include "support/error.hpp"
 
@@ -81,6 +82,17 @@ BfsResult bfs(const Engine& eng, VertexId source) {
   return res;
 }
 
+namespace {
+
+QueryPayload run_bfs_query(const Engine& eng, const QueryParams& p) {
+  BfsResult r = bfs(eng, p.get_vertex("source"));
+  QueryPayload out = QueryPayload::vertex_ids(std::move(r.level));
+  out.aux = r.rounds;
+  return out;
+}
+
+}  // namespace
+
 AlgorithmSpec bfs_spec() {
   AlgorithmSpec s;
   s.code = "BFS";
@@ -90,9 +102,23 @@ AlgorithmSpec bfs_spec() {
   s.params = ParamSchema{
       {"source", ParamType::Int, std::int64_t{0}, "start vertex id"}};
   s.run = [](const Engine& eng, const QueryParams& p, const QueryContext&) {
-    BfsResult r = bfs(eng, p.get_vertex("source"));
-    QueryPayload out = QueryPayload::vertex_ids(std::move(r.level));
-    out.aux = r.rounds;
+    return run_bfs_query(eng, p);
+  };
+  s.refresh = [](const Engine& eng, const QueryParams& p,
+                 const QueryPayload& prev, const EdgeDelta& delta,
+                 const QueryContext&) {
+    const VertexId n = eng.graph().num_vertices();
+    const VertexId src = p.get_vertex("source");
+    if (prev.kind() != PayloadKind::VertexIds ||
+        prev.values_are_vertex_ids() || prev.ids().size() != n || src >= n ||
+        prev.ids()[src] != 0 ||
+        !refresh_worthwhile(eng, delta, kRefreshRunFallbackFraction))
+      return run_bfs_query(eng, p);
+    // Bit-exact: levels have a unique fixed point, reached by the
+    // two-phase repair.
+    QueryPayload out = QueryPayload::vertex_ids(
+        refresh_bfs_levels(eng, src, prev.ids(), delta));
+    out.aux = prev.aux;  // round count of the original run
     return out;
   };
   s.checksum = [](const QueryPayload& p) {

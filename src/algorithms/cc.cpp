@@ -2,6 +2,7 @@
 
 #include <atomic>
 
+#include "algorithms/incremental.hpp"
 #include "framework/edgemap.hpp"
 
 namespace vebo::algo {
@@ -16,6 +17,14 @@ bool atomic_write_min(std::atomic<VertexId>& slot, VertexId value) {
       return true;
   }
   return false;
+}
+
+QueryPayload run_cc_query(const Engine& eng) {
+  CcResult r = connected_components(eng);
+  QueryPayload out = QueryPayload::vertex_ids(std::move(r.label),
+                                              /*values_are_vertex_ids=*/true);
+  out.aux = r.rounds;
+  return out;
 }
 
 }  // namespace
@@ -130,10 +139,23 @@ AlgorithmSpec cc_spec() {
   s.dense_frontier = true;
   s.params = ParamSchema{};
   s.run = [](const Engine& eng, const QueryParams&, const QueryContext&) {
-    CcResult r = connected_components(eng);
+    return run_cc_query(eng);
+  };
+  s.refresh = [](const Engine& eng, const QueryParams&,
+                 const QueryPayload& prev, const EdgeDelta& delta,
+                 const QueryContext&) {
+    const VertexId n = eng.graph().num_vertices();
+    if (prev.kind() != PayloadKind::VertexIds ||
+        !prev.values_are_vertex_ids() || prev.ids().size() != n ||
+        !refresh_worthwhile(eng, delta, kRefreshRunFallbackFraction))
+      return run_cc_query(eng);
+    // Bit-exact: union-find over the delta plus the affected components,
+    // relabeled to the component-minimum id label propagation converges
+    // to.
     QueryPayload out = QueryPayload::vertex_ids(
-        std::move(r.label), /*values_are_vertex_ids=*/true);
-    out.aux = r.rounds;
+        refresh_components(eng, prev.ids(), delta),
+        /*values_are_vertex_ids=*/true);
+    out.aux = prev.aux;  // round count of the original run
     return out;
   };
   s.checksum = [](const QueryPayload& p) {

@@ -2,11 +2,31 @@
 
 #include <algorithm>
 
+#include "algorithms/incremental.hpp"
 #include "framework/edgemap.hpp"
 #include "support/error.hpp"
 #include "support/timer.hpp"
 
 namespace vebo::algo {
+
+namespace {
+
+QueryPayload run_pr_query(const Engine& eng, const QueryParams& p) {
+  PageRankOptions opts;
+  opts.iterations = static_cast<int>(p.get_int("iterations"));
+  opts.damping = p.get_float("damping");
+  VEBO_CHECK(opts.iterations >= 0, "PR: iterations must be >= 0");
+  const std::int64_t k = p.get_int("top_k");
+  VEBO_CHECK(k >= 0, "PR: top_k must be >= 0");
+  PageRankResult r = pagerank(eng, opts);
+  QueryPayload out =
+      k > 0 ? QueryPayload::top_k(top_k_of(r.rank, static_cast<std::size_t>(k)))
+            : QueryPayload::vertex_doubles(std::move(r.rank));
+  out.aux = r.total_mass;
+  return out;
+}
+
+}  // namespace
 
 PageRankResult pagerank(const Engine& eng, const PageRankOptions& opts) {
   const Graph& g = eng.graph();
@@ -89,23 +109,32 @@ AlgorithmSpec pagerank_spec() {
       {"top_k", ParamType::Int, std::int64_t{0},
        "0 = full rank vector, k > 0 = k highest-ranked vertices"}};
   s.run = [](const Engine& eng, const QueryParams& p, const QueryContext&) {
-    PageRankOptions opts;
-    opts.iterations = static_cast<int>(p.get_int("iterations"));
-    opts.damping = p.get_float("damping");
-    VEBO_CHECK(opts.iterations >= 0, "PR: iterations must be >= 0");
-    const std::int64_t k = p.get_int("top_k");
-    VEBO_CHECK(k >= 0, "PR: top_k must be >= 0");
-    PageRankResult r = pagerank(eng, opts);
-    QueryPayload out =
-        k > 0 ? QueryPayload::top_k(
-                    top_k_of(r.rank, static_cast<std::size_t>(k)))
-              : QueryPayload::vertex_doubles(std::move(r.rank));
-    out.aux = r.total_mass;
-    return out;
+    return run_pr_query(eng, p);
   };
   // Deterministic block fold == legacy total_mass for the full vector
   // (total_mass is computed with the same deterministic_sum).
   s.checksum = block_sum;
+  s.refresh = [](const Engine& eng, const QueryParams& p,
+                 const QueryPayload& prev, const EdgeDelta& delta,
+                 const QueryContext&) {
+    const VertexId n = eng.graph().num_vertices();
+    if (p.get_int("top_k") > 0 || prev.kind() != PayloadKind::VertexDoubles ||
+        prev.doubles().size() != n ||
+        !refresh_worthwhile(eng, delta, kRefreshRunFallbackFraction))
+      return run_pr_query(eng, p);
+    // Warm-start converges to the power method's fixed point; epsilon is
+    // pinned tight so the refreshed vector agrees with a converged
+    // scratch run at summation-noise scale. The round cap scales with
+    // the entry's own iteration budget but never below 32 (a warm start
+    // typically needs only a handful of rounds).
+    std::vector<double> rank = refresh_pagerank(
+        eng, prev.doubles(), delta, p.get_float("damping"),
+        /*epsilon=*/1e-8,
+        std::max(static_cast<int>(p.get_int("iterations")), 32));
+    QueryPayload out = QueryPayload::vertex_doubles(std::move(rank));
+    out.aux = block_sum(out);  // total_mass: the same deterministic fold
+    return out;
+  };
   return s;
 }
 

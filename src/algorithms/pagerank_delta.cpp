@@ -2,11 +2,32 @@
 
 #include <cmath>
 
+#include "algorithms/incremental.hpp"
 #include "framework/edgemap.hpp"
 #include "parallel/scan_pack.hpp"
 #include "support/error.hpp"
 
 namespace vebo::algo {
+
+namespace {
+
+QueryPayload run_prd_query(const Engine& eng, const QueryParams& p) {
+  PageRankDeltaOptions opts;
+  opts.max_iterations = static_cast<int>(p.get_int("max_iters"));
+  opts.damping = p.get_float("damping");
+  opts.epsilon = p.get_float("epsilon");
+  VEBO_CHECK(opts.max_iterations >= 0, "PRD: max_iters must be >= 0");
+  const std::int64_t k = p.get_int("top_k");
+  VEBO_CHECK(k >= 0, "PRD: top_k must be >= 0");
+  PageRankDeltaResult r = pagerank_delta(eng, opts);
+  QueryPayload out =
+      k > 0 ? QueryPayload::top_k(top_k_of(r.rank, static_cast<std::size_t>(k)))
+            : QueryPayload::vertex_doubles(std::move(r.rank));
+  out.aux = r.iterations;
+  return out;
+}
+
+}  // namespace
 
 PageRankDeltaResult pagerank_delta(const Engine& eng,
                                    const PageRankDeltaOptions& opts) {
@@ -99,22 +120,28 @@ AlgorithmSpec pagerank_delta_spec() {
       {"top_k", ParamType::Int, std::int64_t{0},
        "0 = full rank vector, k > 0 = k highest-ranked vertices"}};
   s.run = [](const Engine& eng, const QueryParams& p, const QueryContext&) {
-    PageRankDeltaOptions opts;
-    opts.max_iterations = static_cast<int>(p.get_int("max_iters"));
-    opts.damping = p.get_float("damping");
-    opts.epsilon = p.get_float("epsilon");
-    VEBO_CHECK(opts.max_iterations >= 0, "PRD: max_iters must be >= 0");
-    const std::int64_t k = p.get_int("top_k");
-    VEBO_CHECK(k >= 0, "PRD: top_k must be >= 0");
-    PageRankDeltaResult r = pagerank_delta(eng, opts);
-    QueryPayload out =
-        k > 0 ? QueryPayload::top_k(
-                    top_k_of(r.rank, static_cast<std::size_t>(k)))
-              : QueryPayload::vertex_doubles(std::move(r.rank));
-    out.aux = r.iterations;
-    return out;
+    return run_prd_query(eng, p);
   };
   s.checksum = serial_sum;
+  s.refresh = [](const Engine& eng, const QueryParams& p,
+                 const QueryPayload& prev, const EdgeDelta& delta,
+                 const QueryContext&) {
+    const VertexId n = eng.graph().num_vertices();
+    if (p.get_int("top_k") > 0 || prev.kind() != PayloadKind::VertexDoubles ||
+        prev.doubles().size() != n ||
+        !refresh_worthwhile(eng, delta, kRefreshRunFallbackFraction))
+      return run_prd_query(eng, p);
+    // Same residual-propagation kernel PRD itself uses, warm-started
+    // from the previous epoch's ranks and driven by the entry's own
+    // epsilon/max_iters knobs — same stopping rule as a scratch run.
+    std::vector<double> rank = refresh_pagerank(
+        eng, prev.doubles(), delta, p.get_float("damping"),
+        p.get_float("epsilon"),
+        std::max(static_cast<int>(p.get_int("max_iters")), 32));
+    QueryPayload out = QueryPayload::vertex_doubles(std::move(rank));
+    out.aux = prev.aux;  // iteration count of the original run
+    return out;
+  };
   return s;
 }
 

@@ -31,8 +31,14 @@ const char* value_type_name(const ParamValue& v) {
 }
 
 std::string encode_value(const ParamValue& v) {
-  if (const auto* i = std::get_if<std::int64_t>(&v))
-    return "i" + std::to_string(*i);
+  if (const auto* i = std::get_if<std::int64_t>(&v)) {
+    // Built up with += (not "i" + to_string(...)): the operator+ form
+    // trips GCC 12's -Wrestrict false positive (PR 105651) once inlined
+    // into canonical_query_key.
+    std::string enc = "i";
+    enc += std::to_string(*i);
+    return enc;
+  }
   // Hex float: exact, locale-independent, and identical for every
   // spelling of the same double — the property the cache key needs.
   char buf[48];
@@ -246,6 +252,66 @@ QueryPayload translate_to_original_ids(const QueryPayload& p,
     }
   }
   return p;
+}
+
+QueryPayload translate_from_original_ids(const QueryPayload& p,
+                                         std::span<const VertexId> perm) {
+  const auto n = static_cast<VertexId>(perm.size());
+  switch (p.kind()) {
+    case PayloadKind::Scalar: {
+      QueryPayload out = QueryPayload::scalar(p.scalar_value());
+      out.aux = p.aux;
+      return out;
+    }
+    case PayloadKind::VertexDoubles: {
+      const std::vector<double>& in = p.doubles();
+      VEBO_CHECK(in.size() == perm.size(),
+                 "translate: payload/permutation size mismatch");
+      std::vector<double> re(in.size());
+      for (VertexId v = 0; v < n; ++v) re[perm[v]] = in[v];
+      QueryPayload out = QueryPayload::vertex_doubles(std::move(re));
+      out.aux = p.aux;
+      return out;
+    }
+    case PayloadKind::VertexIds: {
+      const std::vector<VertexId>& in = p.ids();
+      VEBO_CHECK(in.size() == perm.size(),
+                 "translate: payload/permutation size mismatch");
+      std::vector<VertexId> re(in.size());
+      if (p.values_are_vertex_ids()) {
+        for (VertexId v = 0; v < n; ++v) {
+          const VertexId val = in[v];
+          VEBO_CHECK(val == kInvalidVertex || val < n,
+                     "translate: id value out of range");
+          re[perm[v]] = val == kInvalidVertex ? kInvalidVertex : perm[val];
+        }
+      } else {
+        for (VertexId v = 0; v < n; ++v) re[perm[v]] = in[v];
+      }
+      QueryPayload out =
+          QueryPayload::vertex_ids(std::move(re), p.values_are_vertex_ids());
+      out.aux = p.aux;
+      return out;
+    }
+    case PayloadKind::TopK: {
+      std::vector<VertexScore> re = p.top();
+      for (VertexScore& e : re) {
+        VEBO_CHECK(e.vertex < n, "translate: top-k vertex out of range");
+        e.vertex = perm[e.vertex];
+      }
+      QueryPayload out = QueryPayload::top_k(std::move(re));
+      out.aux = p.aux;
+      return out;
+    }
+  }
+  return p;
+}
+
+bool refresh_worthwhile(const Engine& eng, const EdgeDelta& delta,
+                        double max_fraction) {
+  const auto m = static_cast<double>(
+      std::max<EdgeId>(eng.graph().num_edges(), 1));
+  return static_cast<double>(delta.size()) <= max_fraction * m;
 }
 
 double serial_sum(const QueryPayload& p) {

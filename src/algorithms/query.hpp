@@ -188,6 +188,45 @@ class QueryPayload {
 QueryPayload translate_to_original_ids(const QueryPayload& p,
                                        std::span<const VertexId> perm);
 
+/// The exact inverse of translate_to_original_ids: re-expresses a
+/// payload held in original vertex ids in the id space of a (possibly
+/// different) snapshot permutation — out[perm[v]] = in[v], id values and
+/// top-k vertices mapped forward through perm. This is how publish-time
+/// refresh warm-starts: a cached original-id payload is carried into the
+/// NEW epoch's snapshot space before the incremental hook runs on it.
+QueryPayload translate_from_original_ids(const QueryPayload& p,
+                                         std::span<const VertexId> perm);
+
+// ------------------------------------------------------ incremental delta
+
+/// The net edge changes between two published snapshots, as directed arcs
+/// in the id space the consuming engine runs in (undirected graphs carry
+/// both orientations, matching the symmetrized snapshot). Set semantics
+/// across the whole window: an arc appears in at most one of the two
+/// lists, and an insert-then-remove chain nets out to nothing.
+/// Produced by stream::StreamSession::drain_delta() (original ids) and
+/// translated to snapshot ids by the serving layer before a refresh hook
+/// sees it.
+struct EdgeDelta {
+  std::vector<Edge> inserted;
+  std::vector<Edge> removed;
+
+  std::size_t size() const { return inserted.size() + removed.size(); }
+  bool empty() const { return inserted.empty() && removed.empty(); }
+};
+
+/// Hook-internal sanity bound: refresh implementations fall back to a
+/// full run() when the delta exceeds this fraction of the edge count —
+/// past that point warm-start bookkeeping costs more than recomputing.
+/// The serving layer applies its own (configurable, typically tighter)
+/// threshold before invoking a hook at all.
+inline constexpr double kRefreshRunFallbackFraction = 0.25;
+
+/// True when `delta` is small enough relative to the engine's edge count
+/// for an incremental refresh to be worthwhile.
+bool refresh_worthwhile(const Engine& eng, const EdgeDelta& delta,
+                        double max_fraction);
+
 // ----------------------------------------------------------- entry point
 
 /// One algorithm's typed entry point: schema + spec-based runner + the
@@ -213,6 +252,27 @@ struct AlgorithmSpec {
   /// Deterministic fold of run()'s payload reproducing the pre-protocol
   /// checksum exactly (serial in-payload-order sums, reached counts...).
   std::function<double(const QueryPayload&)> checksum;
+  /// Incremental entry point (PR 10): recomputes the answer for the
+  /// engine's graph warm-started from `prev` — the previous epoch's
+  /// payload already re-expressed in THIS engine's id space (see
+  /// translate_from_original_ids) — plus the net edge delta between the
+  /// two snapshots, also in this engine's id space. Implementations fall
+  /// back to a full run() internally when the delta is too large
+  /// (kRefreshRunFallbackFraction), the payload shape cannot seed a warm
+  /// start (top-k, scalar, stale vertex count), or the previous answer
+  /// is otherwise unusable — the hook always returns a payload valid for
+  /// the engine's current graph. Null when the algorithm has no
+  /// incremental form (the serving layer then invalidates as before).
+  std::function<QueryPayload(const Engine&, const QueryParams&,
+                             const QueryPayload& prev, const EdgeDelta&,
+                             const QueryContext&)>
+      refresh;
+  /// True when refresh() reuses values that depend on snapshot ids
+  /// themselves (Bellman-Ford's synthetic edge weights are a pure
+  /// function of snapshot ids): the hook is only sound when the
+  /// permutation did not change across the publish, and the serving
+  /// layer must drop the entry instead of refreshing when it did.
+  bool refresh_needs_stable_perm = false;
 
   /// Validate + run in one step (the non-serving convenience path).
   /// Binds `ctx` to the engine for the duration of the run so the

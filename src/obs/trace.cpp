@@ -99,6 +99,7 @@ const char* to_string(SpanKind k) {
     // vebo-lint: disable=metric-names -- span stage label, not a metric
     case SpanKind::VeboRefine: return "vebo_refine";
     case SpanKind::Publish: return "publish";
+    case SpanKind::Refresh: return "refresh";
   }
   return "?";
 }
@@ -253,7 +254,8 @@ const char* category(SpanKind k) {
     case SpanKind::EngineLease:
     case SpanKind::CacheProbe:
     case SpanKind::Execute:
-    case SpanKind::Translate: return "serve";
+    case SpanKind::Translate:
+    case SpanKind::Refresh: return "serve";
     default: return "stream";
   }
 }
@@ -317,6 +319,7 @@ void append_chrome_event(std::ostringstream& os, const Span& s,
     case SpanKind::Execute:
     case SpanKind::Snapshot:
     case SpanKind::Publish:
+    case SpanKind::Refresh:
       arg_u64(os, first, "version", s.a);
       break;
     case SpanKind::CacheProbe:

@@ -70,8 +70,9 @@ enum class SpanKind : std::uint8_t {
   Compact,
   VeboRefine,
   Publish,
+  Refresh,  ///< serve path: one cache entry recomputed across a publish
 };
-inline constexpr std::size_t kNumSpanKinds = 14;
+inline constexpr std::size_t kNumSpanKinds = 15;
 const char* to_string(SpanKind k);
 
 /// Sentinel for a kind-specific arg the instrumentation site did not
@@ -100,6 +101,7 @@ const char* to_string(KernelVariant v);
 ///  * ApplyBatch: a = inserted, b = removed, c = vertices grown.
 ///  * VeboRefine: a = RebalanceAction, b = dirty vertex count.
 ///  * Publish/Snapshot: a = version (0 when unversioned).
+///  * Refresh: a = the version the entry was refreshed to.
 struct Span {
   std::uint64_t start_ns = 0;  ///< steady-clock stamp
   std::uint64_t dur_ns = 0;

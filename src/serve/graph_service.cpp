@@ -182,19 +182,31 @@ QueryResult GraphService::query(Query q, RetryPolicy retry) {
 
 std::uint64_t GraphService::publish(
     std::shared_ptr<const Graph> graph, order::Partitioning partitioning,
-    std::shared_ptr<const Permutation> perm) {
+    std::shared_ptr<const Permutation> perm, const algo::EdgeDelta* delta) {
   // Stream-path stage span (writer thread): covers the store publish
-  // AND the cache invalidation/rotation that makes the epoch visible.
-  // StageScope, not SpanScope: the flight recorder sees publishes too.
+  // AND the cache invalidation/rotation/refresh that makes the epoch
+  // visible. StageScope, not SpanScope: the flight recorder sees
+  // publishes too.
   Timer wall;
   std::uint64_t v = 0;
+  // Keep a handle on the new permutation past the moves below: the
+  // refresh path re-translates payloads through it.
+  const std::shared_ptr<const Permutation> perm_copy = perm;
   {
     obs::StageScope span(obs::SpanKind::Publish);
+    const std::uint64_t prev_v = store_.version();
     v = store_.publish(std::move(graph), std::move(partitioning),
                        std::move(perm));
     if (span.live()) span.span().a = v;
-    invalidate_cache(v);
+    if (opts_.refresh_on_publish && opts_.enable_cache && delta != nullptr)
+      refresh_cache(prev_v, v, *delta, perm_copy);
+    else
+      invalidate_cache(v);
   }
+  // Pre-warm AFTER the epoch is visible (readers never wait on it): the
+  // lease forces the engine rebind and the lazy structure builds onto
+  // this thread, so the first query of the epoch skips them.
+  if (opts_.prewarm_on_publish) prewarm_engines();
   // Anomaly trigger: a stalled publish means readers are pinned to an
   // aging epoch — exactly the moment to freeze the black box.
   if (wall.elapsed_ms() >= opts_.telemetry.anomaly_publish_stall_ms) {
@@ -210,8 +222,12 @@ std::uint64_t GraphService::publish_session(stream::StreamSession& session) {
   std::shared_ptr<const Graph> snap = session.shared_snapshot();
   auto perm = std::make_shared<const Permutation>(
       session.maintainer().ordering().perm);
+  // Drain unconditionally, not just in refresh mode: the accumulator
+  // must reset at every publish boundary so a later mode flip cannot
+  // see a delta spanning several epochs.
+  const algo::EdgeDelta delta = session.drain_delta();
   return publish(std::move(snap), session.maintainer().partitioning(),
-                 std::move(perm));
+                 std::move(perm), &delta);
 }
 
 void GraphService::stop() {
@@ -499,10 +515,13 @@ void GraphService::process(Item& item, WorkerState& ws) {
                 cache_.clear();
               }
               cache_version_ = snap.version();
-              cache_.insert(key, {r.value, shared});
+              // The bypassing publish told us nothing about its
+              // permutation; a later refresh must assume it changed.
+              cache_perm_known_ = false;
+              cache_.insert(key, {r.value, shared, spec->code, norm});
             }
           } else {
-            cache_.insert(key, {r.value, shared});
+            cache_.insert(key, {r.value, shared, spec->code, norm});
           }
           evicted_after = cache_.evictions();
         }
@@ -758,11 +777,192 @@ void GraphService::invalidate_cache(std::uint64_t published_version) {
       // Leave cache_version_ behind the store version; the next miss
       // brings the generation forward.
     }
+    // This path records no permutation for the generation it opened.
+    cache_perm_known_ = false;
   }
   if (wiped) {
     MutexLock slk(stats_mutex_);
     ++stats_.invalidations;
   }
+}
+
+void GraphService::refresh_cache(
+    std::uint64_t prev_version, std::uint64_t new_version,
+    const algo::EdgeDelta& delta,
+    const std::shared_ptr<const Permutation>& perm) {
+  // Phase A (cache lock): drain the live generation and open the new
+  // one. The generation advances EAGERLY — a concurrent miss computed
+  // against the new epoch must land in the new generation, and the
+  // reinserts below must find it current.
+  std::vector<std::pair<CacheKey, ResultCache::Value>> entries;
+  std::size_t live_before = 0;
+  bool perm_stable = false;
+  {
+    MutexLock lk(cache_mutex_);
+    live_before = cache_.size();
+    // A lagging or bypassed generation (version mismatch) holds entries
+    // for some OTHER epoch than the one this delta steps from — they
+    // can only be dropped.
+    if (cache_version_ == prev_version && live_before != 0)
+      entries = cache_.entries();
+    perm_stable = cache_perm_known_ &&
+                  ((cache_perm_ == nullptr && perm == nullptr) ||
+                   (cache_perm_ != nullptr && perm != nullptr &&
+                    *cache_perm_ == *perm));
+    if (opts_.serve_stale) {
+      // Same rotation contract as invalidate_cache: the retired
+      // generation is the pre-publish one. Entries refreshed below are
+      // reinserted into the LIVE generation only — the stale one stays
+      // a faithful picture of the previous epoch.
+      cache_.rotate();
+      stale_version_ = cache_version_;
+    } else {
+      cache_.clear();
+    }
+    if (new_version > cache_version_) cache_version_ = new_version;
+    cache_perm_ = perm;
+    cache_perm_known_ = true;
+  }
+
+  // Phase B (no cache lock): recompute every refreshable entry against
+  // the new epoch. Query traffic proceeds concurrently — misses for the
+  // new epoch just compute-and-insert as usual.
+  std::vector<std::pair<CacheKey, ResultCache::Value>> fresh;
+  std::vector<std::pair<std::string, double>> hook_ms;
+  if (!entries.empty()) {
+    const SnapshotRef snap = store_.acquire();
+    bool usable = snap && snap.version() == new_version;
+    // Publish-level fallback threshold: a bulk rewrite refreshes
+    // nothing (every hook would fall back to a full run anyway — better
+    // to let queries recompute on demand than serialize N full runs on
+    // the writer thread).
+    if (usable) {
+      const auto m = static_cast<double>(
+          std::max<EdgeId>(snap.graph().num_edges(), 1));
+      if (static_cast<double>(delta.size()) >
+          opts_.refresh_max_delta_fraction * m)
+        usable = false;
+    }
+    // The delta arrives in original ids; the hooks work in snapshot
+    // ids. An endpoint outside the permutation means the delta does not
+    // match this perm — drop everything rather than refresh wrongly.
+    algo::EdgeDelta snap_delta;
+    if (usable && perm != nullptr) {
+      const auto translate = [&](const std::vector<Edge>& in,
+                                 std::vector<Edge>& out) {
+        out.reserve(in.size());
+        for (const Edge& e : in) {
+          if (e.src >= perm->size() || e.dst >= perm->size()) return false;
+          out.push_back({(*perm)[e.src], (*perm)[e.dst]});
+        }
+        return true;
+      };
+      usable = translate(delta.inserted, snap_delta.inserted) &&
+               translate(delta.removed, snap_delta.removed);
+    }
+    if (usable) {
+      const algo::EdgeDelta& eng_delta =
+          perm != nullptr ? snap_delta : delta;
+      EnginePool::Lease lease = pool_.lease(snap);
+      const VertexId n = snap.graph().num_vertices();
+      for (auto& [key, val] : entries) {
+        const algo::AlgorithmSpec* spec = algo::find_spec(val.code);
+        if (spec == nullptr || !spec->refresh || val.payload == nullptr)
+          continue;
+        if (spec->refresh_needs_stable_perm && !perm_stable) continue;
+        try {
+          Timer hook;
+          algo::QueryParams exec = val.params;
+          if (spec->params.find("source") != nullptr) {
+            VertexId src = exec.get_vertex("source");
+            if (perm != nullptr) {
+              if (src >= static_cast<VertexId>(perm->size())) continue;
+              src = (*perm)[src];
+            }
+            if (src >= n) continue;
+            exec.set("source", src);
+          }
+          // The cached payload is in original ids; hand the hook a view
+          // in THIS snapshot's id space. Throws (and drops the entry)
+          // when sizes no longer line up — e.g. vertex growth.
+          const algo::QueryPayload prev_snap =
+              perm != nullptr
+                  ? algo::translate_from_original_ids(*val.payload, *perm)
+                  : *val.payload;
+          const QueryContext& ctx = QueryContext::none();
+          algo::QueryPayload out;
+          {
+            obs::StageScope span(obs::SpanKind::Refresh);
+            if (span.live()) span.span().a = new_version;
+            Engine::ContextBinding bind(lease.engine(), ctx);
+            out = spec->refresh(lease.engine(), exec, prev_snap, eng_delta,
+                                ctx);
+          }
+          ResultCache::Value nv;
+          // Checksum in snapshot order, translate after — the exact
+          // sequence process() runs, so a refreshed entry is
+          // indistinguishable from a recomputed one.
+          nv.checksum = spec->checksum(out);
+          nv.payload = std::make_shared<const algo::QueryPayload>(
+              perm != nullptr ? algo::translate_to_original_ids(out, *perm)
+                              : std::move(out));
+          nv.code = val.code;
+          nv.params = val.params;
+          hook_ms.emplace_back(val.code, hook.elapsed_ms());
+          fresh.emplace_back(key, std::move(nv));
+        } catch (...) {
+          // Refresh is best-effort: a throwing hook degrades to the
+          // plain invalidation this entry would have gotten anyway.
+        }
+      }
+    }
+  }
+
+  // Phase C (cache lock): reinsert, unless yet another publish already
+  // superseded the generation we refreshed for.
+  std::size_t reinserted = 0;
+  {
+    MutexLock lk(cache_mutex_);
+    if (cache_version_ == new_version) {
+      for (auto& [key, val] : fresh) cache_.insert(key, std::move(val));
+      reinserted = fresh.size();
+    }
+  }
+  const std::size_t dropped = live_before - reinserted;
+  {
+    MutexLock slk(stats_mutex_);
+    stats_.refreshes += reinserted;
+    // One invalidation per publish that dropped anything — mirrors
+    // invalidate_cache's per-wipe (not per-entry) accounting.
+    if (dropped > 0) ++stats_.invalidations;
+    for (const auto& [code, ms] : hook_ms) {
+      auto& slot = refresh_lat_[code];
+      ++slot.first;
+      slot.second += ms;
+    }
+  }
+}
+
+void GraphService::prewarm_engines() {
+  const SnapshotRef snap = store_.acquire();
+  if (!snap) return;
+  try {
+    EnginePool::Lease lease = pool_.lease(snap);
+    lease.engine().prewarm();
+  } catch (...) {
+    // Pre-warm is an optimization; a failure here must not fail the
+    // publish that requested it.
+  }
+}
+
+std::vector<GraphService::RefreshLatency> GraphService::refresh_latency()
+    const {
+  MutexLock lk(stats_mutex_);
+  std::vector<RefreshLatency> out;
+  out.reserve(refresh_lat_.size());
+  for (const auto& [algo, slot] : refresh_lat_)
+    out.push_back({algo, slot.first, slot.second});
+  return out;  // std::map iteration order == sorted by algo code
 }
 
 ServiceHealth GraphService::health() const {
@@ -920,6 +1120,17 @@ void GraphService::collect_metrics(std::vector<obs::MetricSample>& out) const {
   emit(MetricType::Counter, "vebo_cache_invalidations_total",
        "cache generations wiped or rotated by publish",
        static_cast<double>(st.invalidations));
+  emit(MetricType::Counter, "vebo_cache_refreshes_total",
+       "entries refreshed in place across a publish (refresh_on_publish)",
+       static_cast<double>(st.refreshes));
+  for (const RefreshLatency& rl : refresh_latency()) {
+    emit(MetricType::Gauge, "vebo_cache_refresh_latency_ms_sum",
+         "total wall time spent in refresh hooks", rl.total_ms,
+         {{"algo", rl.algo}});
+    emit(MetricType::Gauge, "vebo_cache_refresh_latency_ms_count",
+         "refresh-hook invocations", static_cast<double>(rl.count),
+         {{"algo", rl.algo}});
+  }
   {
     MutexLock lk(cache_mutex_);
     emit(MetricType::Counter, "vebo_cache_evictions_total",

@@ -67,6 +67,7 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
@@ -152,6 +153,29 @@ struct GraphServiceOptions {
   /// from it (marked stale) instead of rejecting. Requires enable_cache.
   /// Off by default — default-mode behavior is identical to PR 5.
   bool serve_stale = false;
+  /// Opt-in incremental maintenance (PR 10): publishes that carry an
+  /// edge delta (publish_session, or publish(..., delta)) refresh cache
+  /// entries whose algorithm has an AlgorithmSpec::refresh hook — warm-
+  /// started from the previous epoch's payload, re-keyed to the new
+  /// epoch — instead of dropping them. Entries without a hook (or whose
+  /// refresh preconditions fail) are invalidated exactly as before.
+  /// Refreshed answers are NOT stale: they are full-fidelity results for
+  /// the new epoch (refresh == recompute is the contract, see ROADMAP
+  /// "Incremental maintenance"). Off by default — default-mode behavior
+  /// is identical to PR 9.
+  bool refresh_on_publish = false;
+  /// Refresh is only worthwhile for small deltas: when the net delta
+  /// exceeds this fraction of the new snapshot's edges, the publish
+  /// falls back to a plain invalidation (and each algorithm's hook
+  /// additionally falls back to a full run past its own threshold).
+  double refresh_max_delta_fraction = 0.05;
+  /// Opt-in publish-time engine pre-warm: after the epoch is visible,
+  /// the publishing thread leases an engine (forcing the rebind) and
+  /// builds the lazy traversal structures, so the first query of the new
+  /// epoch does not pay them. Runs on the writer thread, after readers
+  /// already see the new epoch — it adds publish latency, not query
+  /// latency.
+  bool prewarm_on_publish = false;
   /// Optional metrics plane: when set, the service registers one
   /// collector that exposes every GraphServiceStats field (including
   /// errors_by_code), the cache size/evictions, the engine-pool
@@ -244,6 +268,12 @@ struct GraphServiceStats {
   std::uint64_t cache_hits = 0;
   std::uint64_t invalidations = 0;  ///< cache wipes (publish / epoch change)
   std::uint64_t evictions = 0;      ///< single entries LRU-evicted when full
+  /// Entries carried across a publish by in-place recompute
+  /// (refresh_on_publish). Distinct from invalidations: a refreshing
+  /// publish that keeps every entry counts zero invalidations; one that
+  /// drops any entry (no hook, failed precondition, oversized delta)
+  /// still counts one invalidation for the wipe of the dropped set.
+  std::uint64_t refreshes = 0;
   /// Accepted queries shed before execution (deadline lapsed / cancelled
   /// while queued). Every shed is also counted in `failed` (the future
   /// resolves exceptionally) unless it was answered stale instead.
@@ -333,15 +363,32 @@ class GraphService {
 
   /// Publishes a new epoch into the store and invalidates the result
   /// cache. `perm` (optional) maps original ids -> snapshot positions so
-  /// clients keep addressing vertices by original id.
+  /// clients keep addressing vertices by original id. `delta` (optional,
+  /// ORIGINAL id space, net across batches) enables the refresh-on-
+  /// publish path when opts.refresh_on_publish is set; it is only read
+  /// during the call.
   std::uint64_t publish(std::shared_ptr<const Graph> graph,
                         order::Partitioning partitioning,
-                        std::shared_ptr<const Permutation> perm = nullptr);
+                        std::shared_ptr<const Permutation> perm = nullptr,
+                        const algo::EdgeDelta* delta = nullptr);
 
   /// Publishes the session's current version: reordered shared snapshot,
   /// maintained partitioning, and the VEBO permutation. Writer-thread
-  /// API (same thread that calls session.apply()).
+  /// API (same thread that calls session.apply()). Drains the session's
+  /// accumulated net edge delta and feeds it to the refresh-on-publish
+  /// path (drained regardless of the option, so deltas never pile up
+  /// across a mode change).
   std::uint64_t publish_session(stream::StreamSession& session);
+
+  /// Per-algorithm refresh cost accounting (refresh-on-publish mode):
+  /// how many entries were refreshed for `algo` and the total wall time
+  /// spent in their refresh hooks. Sorted by algo code.
+  struct RefreshLatency {
+    std::string algo;
+    std::uint64_t count = 0;
+    double total_ms = 0;
+  };
+  std::vector<RefreshLatency> refresh_latency() const EXCLUDES(stats_mutex_);
 
   /// Stops accepting work, drains the queue, joins the workers. Idempotent;
   /// also run by the destructor.
@@ -436,6 +483,21 @@ class GraphService {
       EXCLUDES(cache_mutex_, stats_mutex_);
   void invalidate_cache(std::uint64_t published_version)
       EXCLUDES(cache_mutex_, stats_mutex_);
+  /// The refresh-on-publish path (replaces invalidate_cache on a
+  /// delta-carrying publish in refresh mode): drains the live generation,
+  /// recomputes every refreshable entry against the new epoch via its
+  /// AlgorithmSpec::refresh hook (outside the cache lock), and reinserts
+  /// the survivors keyed to `new_version`. Non-refreshable entries are
+  /// dropped (counted as one invalidation if any). `delta` is in
+  /// ORIGINAL ids; `perm` is the newly published permutation.
+  void refresh_cache(std::uint64_t prev_version, std::uint64_t new_version,
+                     const algo::EdgeDelta& delta,
+                     const std::shared_ptr<const Permutation>& perm)
+      EXCLUDES(cache_mutex_, stats_mutex_);
+  /// Publish-time engine pre-warm (opts_.prewarm_on_publish): leases an
+  /// engine against the freshly published epoch — forcing the
+  /// rebind + lazy structure builds onto this (writer) thread.
+  void prewarm_engines();
   /// Records a completion latency into `ws`'s histogram, or the
   /// service-level one when null (submit-thread stale serves).
   void record(double latency_ms, WorkerState* ws) EXCLUDES(stats_mutex_);
@@ -469,12 +531,25 @@ class GraphService {
   std::uint64_t cache_version_ GUARDED_BY(cache_mutex_) = 0;
   std::uint64_t stale_version_ GUARDED_BY(cache_mutex_) = 0;
   ResultCache cache_ GUARDED_BY(cache_mutex_);
+  /// The permutation the live generation's payloads were translated
+  /// under, tracked so refresh can tell a perm-preserving publish from a
+  /// re-permuting one (refresh_needs_stable_perm hooks only survive the
+  /// former). `known` goes false whenever the cache generation advances
+  /// through a path that does not record the perm (the lazy epoch catch-
+  /// up in process()) — conservative: unknown perm means "assume it
+  /// changed".
+  std::shared_ptr<const Permutation> cache_perm_ GUARDED_BY(cache_mutex_);
+  bool cache_perm_known_ GUARDED_BY(cache_mutex_) = false;
 
   /// Lock order: the ledger nests stats_mutex_ INSIDE queue_mutex_
   /// (submit counts admission before a worker can pop the item); nothing
   /// ever takes queue_mutex_ while holding stats_mutex_.
   mutable Mutex stats_mutex_ ACQUIRED_AFTER(queue_mutex_);
   GraphServiceStats stats_ GUARDED_BY(stats_mutex_);
+  /// Per-algo refresh cost: code -> (count, total ms). Feeds
+  /// refresh_latency() and the vebo_cache_refresh_latency_ms_* metrics.
+  std::map<std::string, std::pair<std::uint64_t, double>> refresh_lat_
+      GUARDED_BY(stats_mutex_);
   /// Service-level latency histogram: samples recorded off-worker
   /// (submit-thread stale serves). Worker completions land in the
   /// per-worker histograms; latency() merges all of them.

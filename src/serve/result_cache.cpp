@@ -51,4 +51,16 @@ const ResultCache::Value* ResultCache::find_stale(const CacheKey& key) const {
   return it == stale_.end() ? nullptr : &it->second.value;
 }
 
+std::vector<std::pair<CacheKey, ResultCache::Value>> ResultCache::entries()
+    const {
+  std::vector<std::pair<CacheKey, Value>> out;
+  out.reserve(map_.size());
+  // Walk the recency list back-to-front: LRU first, MRU last.
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    const auto found = map_.find(**it);
+    out.emplace_back(found->first, found->second.value);
+  }
+  return out;
+}
+
 }  // namespace vebo::serve

@@ -37,6 +37,8 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "algorithms/query.hpp"
 
@@ -70,6 +72,13 @@ class ResultCache {
     /// Payload in original vertex ids (translated before insertion);
     /// shared so concurrent hits hand out the same immutable object.
     std::shared_ptr<const algo::QueryPayload> payload;
+    /// The query's identity, kept so refresh-on-publish can recompute
+    /// the entry without reverse-engineering the canonical key: the
+    /// algorithm code and the schema-validated params in ORIGINAL vertex
+    /// ids (the client-visible form — sources get re-translated against
+    /// whatever permutation the refreshing epoch publishes).
+    std::string code;
+    algo::QueryParams params;
   };
 
   explicit ResultCache(std::size_t capacity) : capacity_(capacity) {}
@@ -98,6 +107,11 @@ class ResultCache {
   std::size_t size() const { return map_.size(); }
   std::size_t stale_size() const { return stale_.size(); }
   std::uint64_t evictions() const { return evictions_; }
+
+  /// Snapshot of the live generation in LRU -> MRU order (so reinserting
+  /// in sequence reproduces today's recency). Refresh-on-publish drains
+  /// this under the owner's lock, recomputes outside it, and reinserts.
+  std::vector<std::pair<CacheKey, Value>> entries() const;
 
  private:
   /// MRU-first recency list; entries point at their map key. Pointers to

@@ -231,9 +231,15 @@ ApplyResult DeltaGraph::apply_batch(std::span<const EdgeUpdate> batch) {
     dst_delta[gi] = {v, delta};
   });
 
-  for (std::int8_t e : effect) {
-    if (e > 0) ++res.inserted;
-    if (e < 0) ++res.removed;
+  for (std::size_t i = 0; i < effect.size(); ++i) {
+    if (effect[i] > 0) {
+      ++res.inserted;
+      res.inserted_edges.push_back({canon[i].src, canon[i].dst});
+    }
+    if (effect[i] < 0) {
+      ++res.removed;
+      res.removed_edges.push_back({canon[i].src, canon[i].dst});
+    }
   }
   m_ = static_cast<EdgeId>(static_cast<std::int64_t>(m_) +
                            static_cast<std::int64_t>(res.inserted) -

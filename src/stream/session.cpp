@@ -1,5 +1,8 @@
 #include "stream/session.hpp"
 
+#include <algorithm>
+#include <utility>
+
 #include "graph/permute.hpp"
 #include "obs/recorder.hpp"
 #include "support/error.hpp"
@@ -28,6 +31,24 @@ StreamSession::BatchOutcome StreamSession::apply(
   ++stats_.batches;
   stats_.inserted += out.applied.inserted;
   stats_.removed += out.applied.removed;
+
+  // Fold the batch's effective arc flips into the net accumulator.
+  // apply_batch guarantees each arc appears in at most one of the two
+  // lists per batch, so the net value stays within {-1, 0, +1}; zeros
+  // (a flip cancelling an earlier pending flip) are erased immediately.
+  auto fold = [this](const std::vector<Edge>& edges, std::int8_t sign) {
+    for (const Edge& e : edges) {
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(e.src) << 32) | e.dst;
+      auto [it, fresh] = pending_delta_.try_emplace(key, sign);
+      if (!fresh) {
+        it->second = static_cast<std::int8_t>(it->second + sign);
+        if (it->second == 0) pending_delta_.erase(it);
+      }
+    }
+  };
+  fold(out.applied.inserted_edges, +1);
+  fold(out.applied.removed_edges, -1);
 
   maintainer_.observe(out.applied);
   // maybe_rebalance records its own VeboRefine span.
@@ -104,6 +125,21 @@ algo::QueryPayload StreamSession::query_typed(const std::string& algo_code,
   const algo::QueryPayload payload = s.run(*engine_, norm, ctx);
   return algo::translate_to_original_ids(payload,
                                          maintainer_.ordering().perm);
+}
+
+algo::EdgeDelta StreamSession::drain_delta() {
+  std::vector<std::pair<std::uint64_t, std::int8_t>> flat(
+      pending_delta_.begin(), pending_delta_.end());
+  pending_delta_.clear();
+  std::sort(flat.begin(), flat.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  algo::EdgeDelta out;
+  for (const auto& [key, sign] : flat) {
+    const Edge e{static_cast<VertexId>(key >> 32),
+                 static_cast<VertexId>(key & 0xffffffffu)};
+    (sign > 0 ? out.inserted : out.removed).push_back(e);
+  }
+  return out;
 }
 
 void StreamSession::collect_metrics(

@@ -27,9 +27,11 @@
 // instead of a TSan report.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
+#include <unordered_map>
 
 #include "algorithms/registry.hpp"
 #include "framework/engine.hpp"
@@ -107,6 +109,17 @@ class StreamSession {
   const VeboMaintainer& maintainer() const { return maintainer_; }
   const SessionStats& stats() const { return stats_; }
 
+  /// Arcs whose liveness changed since the last drain_delta(), net of
+  /// cancellation (insert then remove of the same arc nets to nothing —
+  /// same set semantics as DeltaGraph::apply_batch). Original id space.
+  std::size_t pending_delta_edges() const { return pending_delta_.size(); }
+
+  /// Hands over the accumulated net delta (sorted by (src, dst), split
+  /// into inserted/removed, original ids) and resets the accumulator.
+  /// serve::GraphService::publish_session feeds this to the refresh-on-
+  /// publish cache path.
+  algo::EdgeDelta drain_delta();
+
  private:
   void refresh();
   void collect_metrics(std::vector<obs::MetricSample>& out) const;
@@ -120,6 +133,12 @@ class StreamSession {
   std::unique_ptr<Engine> engine_;  ///< engine bound to *snap_
   bool stale_ = true;
   SessionStats stats_;
+  /// Net per-arc liveness change since the last drain, keyed by
+  /// (src << 32) | dst. Values are +1 (net became live) or -1 (net
+  /// became dead); arcs that net to zero are erased on the spot, so the
+  /// map only ever holds genuine changes. Single-writer like the rest of
+  /// the session — no lock (see the header comment).
+  std::unordered_map<std::uint64_t, std::int8_t> pending_delta_;
   /// Declared last: deregisters before any other member is torn down.
   obs::MetricsRegistry::Registration metrics_reg_;
 };

@@ -40,6 +40,14 @@ struct ApplyResult {
   /// Vertices whose in-degree changed, with the signed change. This is the
   /// dirty set the incremental VEBO maintainer re-places.
   std::vector<std::pair<VertexId, std::int64_t>> in_degree_delta;
+  /// The effective per-batch edge delta: every (src, dst) arc that became
+  /// live / dead, post-dedup (set-semantics no-ops excluded). Undirected
+  /// graphs carry both orientations, matching the symmetrized arc set a
+  /// snapshot exposes. `inserted_edges.size() == inserted` and likewise
+  /// for removals; this is the raw material incremental query refresh
+  /// (PR 10) accumulates across batches.
+  std::vector<Edge> inserted_edges;
+  std::vector<Edge> removed_edges;
 };
 
 }  // namespace vebo::stream

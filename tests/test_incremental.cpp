@@ -1,0 +1,593 @@
+// Tests for incremental query maintenance (PR 10): the session's net
+// edge-delta accumulator, the per-algorithm AlgorithmSpec::refresh hooks
+// (warm-start == from-scratch, the central contract), and the serving
+// layer's refresh-on-publish cache path — equivalence across system
+// models and across a re-permuting publish, the delta-size fallback,
+// publish-time pre-warm, and the whole path under injected faults.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "algorithms/query.hpp"
+#include "algorithms/registry.hpp"
+#include "framework/engine.hpp"
+#include "gen/powerlaw.hpp"
+#include "gen/rmat.hpp"
+#include "graph/permute.hpp"
+#include "serve/graph_service.hpp"
+#include "serve/service_error.hpp"
+#include "serve/snapshot_store.hpp"
+#include "stream/session.hpp"
+#include "support/error.hpp"
+#include "support/fault.hpp"
+#include "support/prng.hpp"
+
+namespace vebo {
+namespace {
+
+using algo::EdgeDelta;
+using algo::PayloadKind;
+using algo::QueryParams;
+using algo::QueryPayload;
+using serve::GraphService;
+using serve::GraphServiceOptions;
+using serve::Query;
+using serve::QueryResult;
+using serve::ResultKind;
+using serve::SnapshotStore;
+using stream::EdgeUpdate;
+using stream::StreamSession;
+
+using ArcSet = std::set<std::pair<VertexId, VertexId>>;
+
+std::vector<EdgeUpdate> random_batch(Xoshiro256& rng, VertexId n,
+                                     std::size_t count,
+                                     int remove_one_in = 8) {
+  std::vector<EdgeUpdate> b;
+  b.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto s = static_cast<VertexId>(rng.next_below(n));
+    const auto d = static_cast<VertexId>(rng.next_below(n));
+    b.push_back(rng.next_below(static_cast<std::uint64_t>(remove_one_in)) == 0
+                    ? EdgeUpdate::remove(s, d)
+                    : EdgeUpdate::insert(s, d));
+  }
+  return b;
+}
+
+ArcSet arcs_of(const Graph& g) {
+  ArcSet out;
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    for (const VertexId w : g.out_neighbors(v)) out.insert({v, w});
+  return out;
+}
+
+// ------------------------------------------------- net-delta accumulator
+
+TEST(NetDelta, AccumulatesSortedAndDrainsOnce) {
+  StreamSession session(gen::rmat(7, 4, 11));
+  const ArcSet base = arcs_of(session.delta().snapshot());
+  // Two arcs guaranteed new, one guaranteed existing (removed).
+  ArcSet fresh;
+  for (VertexId s = 0; fresh.size() < 2; ++s)
+    for (VertexId d = 0; d < 8 && fresh.size() < 2; ++d)
+      if (s != d && !base.count({s, d})) fresh.insert({s, d});
+  const auto [rs, rd] = *base.begin();
+
+  std::vector<EdgeUpdate> batch;
+  for (const auto& [s, d] : fresh) batch.push_back(EdgeUpdate::insert(s, d));
+  batch.push_back(EdgeUpdate::remove(rs, rd));
+  session.apply(batch);
+
+  EXPECT_EQ(session.pending_delta_edges(), 3u);
+  const EdgeDelta delta = session.drain_delta();
+  ASSERT_EQ(delta.inserted.size(), 2u);
+  ASSERT_EQ(delta.removed.size(), 1u);
+  EXPECT_EQ(delta.removed[0].src, rs);
+  EXPECT_EQ(delta.removed[0].dst, rd);
+  ArcSet got;
+  for (const Edge& e : delta.inserted) got.insert({e.src, e.dst});
+  EXPECT_EQ(got, fresh);
+  // Sorted by (src, dst).
+  for (std::size_t i = 1; i < delta.inserted.size(); ++i) {
+    const Edge &a = delta.inserted[i - 1], &b = delta.inserted[i];
+    EXPECT_LT(std::make_pair(a.src, a.dst), std::make_pair(b.src, b.dst));
+  }
+  // Drain resets; a second drain is empty.
+  EXPECT_EQ(session.pending_delta_edges(), 0u);
+  EXPECT_TRUE(session.drain_delta().empty());
+}
+
+TEST(NetDelta, InsertRemoveInsertNetsAcrossBatches) {
+  StreamSession session(gen::rmat(7, 4, 12));
+  const ArcSet base = arcs_of(session.delta().snapshot());
+  std::pair<VertexId, VertexId> e{0, 0};
+  while (base.count(e) || e.first == e.second) ++e.second;
+  const auto [s, d] = e;
+
+  // insert -> remove nets to nothing, even split across batches.
+  session.apply(std::vector<EdgeUpdate>{EdgeUpdate::insert(s, d)});
+  EXPECT_EQ(session.pending_delta_edges(), 1u);
+  session.apply(std::vector<EdgeUpdate>{EdgeUpdate::remove(s, d)});
+  EXPECT_EQ(session.pending_delta_edges(), 0u);
+
+  // insert -> remove -> insert nets to ONE insert (set semantics, not a
+  // replay of three events).
+  session.apply(std::vector<EdgeUpdate>{EdgeUpdate::insert(s, d)});
+  session.apply(std::vector<EdgeUpdate>{EdgeUpdate::remove(s, d)});
+  session.apply(std::vector<EdgeUpdate>{EdgeUpdate::insert(s, d)});
+  EXPECT_EQ(session.pending_delta_edges(), 1u);
+  const EdgeDelta delta = session.drain_delta();
+  ASSERT_EQ(delta.inserted.size(), 1u);
+  EXPECT_TRUE(delta.removed.empty());
+  EXPECT_EQ(delta.inserted[0].src, s);
+  EXPECT_EQ(delta.inserted[0].dst, d);
+
+  // Within one batch, last-update-wins collapses before the accumulator
+  // ever sees an effect: insert+remove of a (still-)dead arc is a no-op.
+  std::pair<VertexId, VertexId> e2 = e;
+  do {
+    ++e2.second;
+  } while (base.count(e2) || e2.first == e2.second);
+  session.apply(std::vector<EdgeUpdate>{
+      EdgeUpdate::insert(e2.first, e2.second),
+      EdgeUpdate::remove(e2.first, e2.second)});
+  EXPECT_EQ(session.pending_delta_edges(), 0u);
+}
+
+TEST(NetDelta, NoopsLeaveNoTrace) {
+  StreamSession session(gen::rmat(7, 4, 13));
+  const ArcSet base = arcs_of(session.delta().snapshot());
+  const auto [s, d] = *base.begin();
+  std::pair<VertexId, VertexId> dead{0, 0};
+  while (base.count(dead)) ++dead.second;
+  // Re-inserting a live arc and removing a dead one change nothing.
+  session.apply(std::vector<EdgeUpdate>{EdgeUpdate::insert(s, d)});
+  EXPECT_EQ(session.pending_delta_edges(), 0u);
+  session.apply(std::vector<EdgeUpdate>{
+      EdgeUpdate::remove(dead.first, dead.second)});
+  EXPECT_EQ(session.pending_delta_edges(), 0u);
+}
+
+// ------------------------------------- spec-level refresh == from-scratch
+//
+// Identity permutation, one engine per graph version: the hook contract
+// in isolation, before the serving layer's translation machinery is
+// involved. CC/BFS/BF are bit-exact; PR/PRD agree at convergence scale.
+
+struct Mutation {
+  Graph before, after;
+  EdgeDelta delta;
+};
+
+Mutation mutate(const Graph& g, std::uint64_t seed, std::size_t inserts,
+                std::size_t removes) {
+  Xoshiro256 rng(seed);
+  ArcSet arcs = arcs_of(g);
+  const VertexId n = g.num_vertices();
+  // Rebuild the baseline from the deduplicated arc set: generators may
+  // emit parallel edges, but deltas live in set semantics (DeltaGraph
+  // snapshots are sets), so before/after must both be simple graphs.
+  std::vector<Edge> base_es;
+  base_es.reserve(arcs.size());
+  for (const auto& [s, d] : arcs) base_es.push_back({s, d});
+  Graph before =
+      Graph::from_edges(EdgeList(n, std::move(base_es), /*directed=*/true));
+  Mutation m{before, before, {}};
+  ArcSet removed;
+  while (removed.size() < removes && removed.size() < arcs.size()) {
+    auto it = arcs.begin();
+    std::advance(it, static_cast<long>(rng.next_below(arcs.size())));
+    if (removed.insert(*it).second) {
+      m.delta.removed.push_back({it->first, it->second});
+      arcs.erase(it);
+    }
+  }
+  ArcSet added;
+  while (added.size() < inserts) {
+    const auto s = static_cast<VertexId>(rng.next_below(n));
+    const auto d = static_cast<VertexId>(rng.next_below(n));
+    if (s == d || arcs.count({s, d}) || removed.count({s, d})) continue;
+    if (added.insert({s, d}).second) {
+      m.delta.inserted.push_back({s, d});
+      arcs.insert({s, d});
+    }
+  }
+  std::vector<Edge> es;
+  es.reserve(arcs.size());
+  for (const auto& [s, d] : arcs) es.push_back({s, d});
+  m.after = Graph::from_edges(EdgeList(n, std::move(es), /*directed=*/true));
+  return m;
+}
+
+void expect_payload_equiv(const std::string& code, const QueryPayload& got,
+                          const QueryPayload& want, double n) {
+  ASSERT_EQ(got.kind(), want.kind()) << code;
+  if (want.kind() == PayloadKind::VertexIds) {
+    EXPECT_EQ(got.ids(), want.ids()) << code << ": refresh must be bit-exact";
+    EXPECT_EQ(got.values_are_vertex_ids(), want.values_are_vertex_ids());
+  } else if (code == "BF") {
+    EXPECT_EQ(got.doubles(), want.doubles())
+        << "BF: path sums are identical left-folds, refresh is bit-exact";
+  } else {
+    ASSERT_EQ(got.doubles().size(), want.doubles().size()) << code;
+    for (std::size_t v = 0; v < want.doubles().size(); ++v)
+      ASSERT_NEAR(got.doubles()[v], want.doubles()[v],
+                  1e-5 * (std::abs(want.doubles()[v]) + 1.0 / n))
+          << code << " v=" << v;
+  }
+}
+
+struct SpecCase {
+  const char* code;
+  QueryParams params;
+};
+
+std::vector<SpecCase> refreshable_cases() {
+  return {
+      // Converged operating points: the refresh hooks converge fully, so
+      // the from-scratch reference must too (ROADMAP "Incremental
+      // maintenance" spells out this contract).
+      {"PR", QueryParams().set("iterations", 120)},
+      {"PRD", QueryParams().set("max_iters", 200).set("epsilon", 1e-8)},
+      {"CC", QueryParams()},
+      {"BFS", QueryParams().set("source", 1)},
+      {"BF", QueryParams().set("source", 1)},
+  };
+}
+
+TEST(SpecRefresh, MatchesFromScratchOnRandomDeltas) {
+  for (const std::uint64_t seed : {21u, 22u, 23u}) {
+    const Graph g = gen::rmat(9, 6, 400 + seed);
+    const Mutation m = mutate(g, seed, /*inserts=*/48, /*removes=*/32);
+    const Engine e1(m.before, SystemModel::Ligra);
+    const Engine e2(m.after, SystemModel::Ligra);
+    for (const SpecCase& c : refreshable_cases()) {
+      const algo::AlgorithmSpec& spec = algo::spec(c.code);
+      ASSERT_TRUE(spec.refresh != nullptr) << c.code;
+      const QueryParams norm = spec.params.validate(c.params);
+      const QueryPayload prev = spec.run(e1, norm, QueryContext::none());
+      const QueryPayload fresh =
+          spec.refresh(e2, norm, prev, m.delta, QueryContext::none());
+      const QueryPayload want = spec.run(e2, norm, QueryContext::none());
+      expect_payload_equiv(c.code, fresh, want,
+                           static_cast<double>(g.num_vertices()));
+      // The checksum fold agrees too (exactly for the bit-exact trio).
+      if (c.code[0] != 'P') {
+        EXPECT_EQ(spec.checksum(fresh), spec.checksum(want)) << c.code;
+      }
+    }
+  }
+}
+
+TEST(SpecRefresh, PowerlawGraphAndDeleteHeavyDelta) {
+  const Graph g = gen::zipf_directed(2000, 77, {.s = 1.0, .ranks = 128});
+  const Mutation m = mutate(g, 7, /*inserts=*/10, /*removes=*/60);
+  const Engine e1(m.before, SystemModel::Ligra);
+  const Engine e2(m.after, SystemModel::Ligra);
+  for (const SpecCase& c : refreshable_cases()) {
+    const algo::AlgorithmSpec& spec = algo::spec(c.code);
+    const QueryParams norm = spec.params.validate(c.params);
+    const QueryPayload prev = spec.run(e1, norm, QueryContext::none());
+    const QueryPayload fresh =
+        spec.refresh(e2, norm, prev, m.delta, QueryContext::none());
+    expect_payload_equiv(c.code, fresh, spec.run(e2, norm, QueryContext::none()),
+                         static_cast<double>(g.num_vertices()));
+  }
+}
+
+TEST(SpecRefresh, OversizedDeltaFallsBackToFullRun) {
+  // A delta past kRefreshRunFallbackFraction must still produce the
+  // correct answer (the hook falls back to run() internally).
+  const Graph g = gen::rmat(8, 4, 99);
+  const Mutation m =
+      mutate(g, 3, /*inserts=*/g.num_edges() / 2, /*removes=*/g.num_edges() / 3);
+  EXPECT_FALSE(algo::refresh_worthwhile(Engine(m.after, SystemModel::Ligra),
+                                        m.delta,
+                                        algo::kRefreshRunFallbackFraction));
+  const Engine e1(m.before, SystemModel::Ligra);
+  const Engine e2(m.after, SystemModel::Ligra);
+  for (const SpecCase& c : refreshable_cases()) {
+    const algo::AlgorithmSpec& spec = algo::spec(c.code);
+    const QueryParams norm = spec.params.validate(c.params);
+    const QueryPayload prev = spec.run(e1, norm, QueryContext::none());
+    const QueryPayload fresh =
+        spec.refresh(e2, norm, prev, m.delta, QueryContext::none());
+    expect_payload_equiv(c.code, fresh, spec.run(e2, norm, QueryContext::none()),
+                         static_cast<double>(g.num_vertices()));
+  }
+}
+
+// ---------------------------------- service-level refresh-on-publish path
+
+GraphServiceOptions refresh_service(SystemModel model,
+                                    std::size_t workers = 2) {
+  GraphServiceOptions o;
+  o.workers = workers;
+  o.queue_capacity = 64;
+  o.engine.model = model;
+  o.refresh_on_publish = true;
+  // Property tests want the refresh path exercised on every publish; the
+  // per-hook kRefreshRunFallbackFraction still guards the extremes.
+  o.refresh_max_delta_fraction = 1.0;
+  return o;
+}
+
+class RefreshEquivalence : public ::testing::TestWithParam<SystemModel> {};
+
+TEST_P(RefreshEquivalence, RefreshedAnswersMatchFromScratch) {
+  const SystemModel model = GetParam();
+  const Graph base = gen::rmat(9, 6, 501);
+  stream::SessionOptions so;
+  so.model = model;
+  StreamSession session(base, so);
+  SnapshotStore store;
+  GraphService service(store, refresh_service(model));
+  service.publish_session(session);
+
+  // Populate the cache with payload-shaped entries for every
+  // refresh-capable algorithm.
+  for (const SpecCase& c : refreshable_cases()) {
+    Query q(c.code);
+    q.params = c.params;
+    q.result = ResultKind::Payload;
+    ASSERT_NE(service.query(q).payload, nullptr) << c.code;
+  }
+
+  Xoshiro256 rng(4242);
+  for (int round = 0; round < 4; ++round) {
+    session.apply(random_batch(rng, base.num_vertices(), 64));
+    service.publish_session(session);
+    const std::uint64_t v = service.store().version();
+    for (const SpecCase& c : refreshable_cases()) {
+      Query q(c.code);
+      q.params = c.params;
+      q.result = ResultKind::Payload;
+      const QueryResult got = service.query(q);
+      // Truthful epoch: a refreshed (or recomputed) answer names the
+      // epoch it is valid for, never the one it was warm-started from.
+      EXPECT_EQ(got.version, v) << c.code << " round " << round;
+      EXPECT_FALSE(got.stale);
+      ASSERT_NE(got.payload, nullptr);
+      const QueryPayload want = session.query_typed(c.code, c.params);
+      expect_payload_equiv(c.code, *got.payload, want,
+                           static_cast<double>(base.num_vertices()));
+    }
+  }
+  // The equivalence above must have been exercised through the refresh
+  // path, not through from-scratch misses.
+  EXPECT_GE(service.stats().refreshes, 8u);
+  const auto lat = service.refresh_latency();
+  EXPECT_FALSE(lat.empty());
+  for (const auto& l : lat) EXPECT_GE(l.total_ms, 0.0) << l.algo;
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, RefreshEquivalence,
+                         ::testing::Values(SystemModel::Ligra,
+                                           SystemModel::Polymer,
+                                           SystemModel::GraphGrind),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+TEST(RefreshOnPublish, RePermutingPublishDropsPermBoundEntriesOnly) {
+  const Graph base = gen::rmat(9, 6, 502);
+  StreamSession session(base);
+  SnapshotStore store;
+  GraphService service(store, refresh_service(SystemModel::Polymer));
+  service.publish_session(session);
+
+  for (const char* code : {"CC", "BF"}) {
+    Query q(code);
+    q.result = ResultKind::Payload;
+    service.query(q);
+  }
+
+  // A perm-preserving publish refreshes both: BF's weights are a pure
+  // function of snapshot ids, so a stable permutation keeps its warm
+  // start valid.
+  session.apply(std::vector<EdgeUpdate>{EdgeUpdate::insert(1, 2)});
+  const Permutation before = session.maintainer().ordering().perm;
+  service.publish_session(session);
+  ASSERT_EQ(session.maintainer().ordering().perm, before)
+      << "one edge must not trigger a rebalance";
+  auto count_of = [&](const char* code) -> std::uint64_t {
+    for (const auto& l : service.refresh_latency())
+      if (l.algo == code) return l.count;
+    return 0;
+  };
+  EXPECT_EQ(count_of("CC"), 1u);
+  EXPECT_EQ(count_of("BF"), 1u);
+
+  // Now force a re-permuting publish: a hub batch skewing the in-degree
+  // distribution until the maintainer rebalances.
+  Xoshiro256 rng(55);
+  std::vector<EdgeUpdate> hub;
+  for (int i = 0; i < 600; ++i)
+    hub.push_back(EdgeUpdate::insert(
+        static_cast<VertexId>(rng.next_below(base.num_vertices())),
+        static_cast<VertexId>(rng.next_below(4))));
+  session.apply(hub);
+  ASSERT_NE(session.maintainer().ordering().perm, before)
+      << "the hub batch must re-permute (else this test tests nothing)";
+  service.publish_session(session);
+
+  // CC survives a permutation change (its refresh is perm-agnostic after
+  // translation); BF must have been dropped, not refreshed wrong.
+  EXPECT_EQ(count_of("CC"), 2u);
+  EXPECT_EQ(count_of("BF"), 1u);
+  EXPECT_GE(service.stats().invalidations, 1u);
+
+  // And the re-queried BF answer (a fresh run) is still correct.
+  Query q("BF");
+  q.result = ResultKind::Payload;
+  const QueryResult got = service.query(q);
+  EXPECT_FALSE(got.cache_hit);
+  EXPECT_EQ(got.payload->doubles(), session.query_typed("BF").doubles());
+}
+
+TEST(RefreshOnPublish, OversizedDeltaFallsBackToInvalidation) {
+  const Graph base = gen::rmat(8, 6, 503);
+  StreamSession session(base);
+  SnapshotStore store;
+  GraphServiceOptions o = refresh_service(SystemModel::Ligra, 1);
+  o.refresh_max_delta_fraction = 1e-9;  // every non-empty delta is "too big"
+  GraphService service(store, o);
+  service.publish_session(session);
+
+  Query q("CC");
+  q.result = ResultKind::Payload;
+  service.query(q);
+
+  const auto before = service.stats();
+  session.apply(std::vector<EdgeUpdate>{EdgeUpdate::insert(0, 5)});
+  service.publish_session(session);
+  const auto after = service.stats();
+  EXPECT_EQ(after.refreshes, before.refreshes);
+  EXPECT_EQ(after.invalidations, before.invalidations + 1);
+
+  // The next query is a miss and recomputes correctly.
+  const QueryResult got = service.query(q);
+  EXPECT_FALSE(got.cache_hit);
+  EXPECT_EQ(got.payload->ids(), session.query_typed("CC").ids());
+}
+
+TEST(RefreshOnPublish, DefaultModeIsUnchanged) {
+  // refresh_on_publish off: publish_session still drains the session's
+  // delta (so a later mode flip never sees a stale pile-up) and the
+  // cache is invalidated exactly as before.
+  const Graph base = gen::rmat(8, 6, 504);
+  StreamSession session(base);
+  SnapshotStore store;
+  GraphServiceOptions o;
+  o.workers = 1;
+  GraphService service(store, o);
+  service.publish_session(session);
+  service.query({"CC", 0});
+  EXPECT_EQ(service.query({"CC", 0}).cache_hit, true);
+
+  session.apply(std::vector<EdgeUpdate>{EdgeUpdate::insert(0, 7)});
+  service.publish_session(session);
+  EXPECT_EQ(session.pending_delta_edges(), 0u);  // drained regardless
+  const QueryResult after = service.query({"CC", 0});
+  EXPECT_FALSE(after.cache_hit);
+  EXPECT_EQ(service.stats().refreshes, 0u);
+  EXPECT_TRUE(service.refresh_latency().empty());
+  EXPECT_GE(service.stats().invalidations, 1u);
+}
+
+TEST(RefreshOnPublish, PrewarmPublishKeepsServingCorrectly) {
+  const Graph base = gen::rmat(8, 6, 505);
+  StreamSession session(base);
+  SnapshotStore store;
+  GraphServiceOptions o = refresh_service(SystemModel::Polymer);
+  o.prewarm_on_publish = true;
+  GraphService service(store, o);
+  service.publish_session(session);
+  // The pre-warm lease must have been returned to the pool.
+  EXPECT_EQ(service.engine_pool().outstanding(), 0u);
+
+  const double want = session.query("CC");
+  EXPECT_EQ(service.query({"CC", 0}).value, want);
+
+  session.apply(std::vector<EdgeUpdate>{EdgeUpdate::insert(2, 3)});
+  service.publish_session(session);
+  EXPECT_EQ(service.engine_pool().outstanding(), 0u);
+  EXPECT_EQ(service.query({"CC", 0}).value, session.query("CC"));
+}
+
+// ------------------------------------------------- refresh under chaos
+
+struct DisarmGuard {
+  ~DisarmGuard() { FaultInjector::instance().disarm_all(); }
+};
+
+TEST(RefreshOnPublish, SurvivesInjectedFaults) {
+  // The PR 6 chaos contract extended to the refresh path: a writer
+  // publishing refresh-mode epochs while clients flood queries and the
+  // injector throws mid-query, fails allocations, and stalls workers.
+  // Refresh hooks run on the writer thread against leased engines — a
+  // throwing hook must drop that entry, never the publish or the ledger.
+  DisarmGuard guard;
+  auto& inj = FaultInjector::instance();
+  inj.seed(0x10C4A05u);
+  inj.arm(FaultInjector::Hook::QueryThrow, 0.05);
+  inj.arm(FaultInjector::Hook::AllocThrow, 0.02);
+  inj.arm(FaultInjector::Hook::WorkerStall, 0.2, 100);
+
+  const Graph base = gen::rmat(9, 6, 506);
+  StreamSession session(base);
+  SnapshotStore store;
+  GraphServiceOptions o = refresh_service(SystemModel::Polymer, 3);
+  o.queue_capacity = 16;
+  o.prewarm_on_publish = true;
+  GraphService service(store, o);
+  service.publish_session(session);
+
+  constexpr int kClients = 3;
+  constexpr int kQueriesPerClient = 40;
+  std::atomic<std::uint64_t> resolved{0}, errored{0}, rejected{0};
+
+  std::thread writer([&] {
+    Xoshiro256 rng(66);
+    for (int b = 0; b < 8; ++b) {
+      session.apply(random_batch(rng, base.num_vertices(), 48));
+      service.publish_session(session);
+      std::this_thread::sleep_for(std::chrono::microseconds(300));
+    }
+  });
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kQueriesPerClient; ++i) {
+        Query q(i % 3 == 0 ? "CC" : (i % 3 == 1 ? "BF" : "PR"));
+        q.source = static_cast<VertexId>((c * 11 + i) % 64);
+        q.result = ResultKind::Payload;
+        auto sub = service.submit(q);
+        if (!sub.accepted()) {
+          rejected.fetch_add(1);
+          continue;
+        }
+        try {
+          const QueryResult r = sub.result.get();
+          resolved.fetch_add(1);
+          EXPECT_GT(r.version, 0u);
+        } catch (const serve::ServiceError&) {
+          errored.fetch_add(1);
+        }
+      }
+    });
+  }
+  writer.join();
+  for (auto& t : clients) t.join();
+  inj.disarm_all();
+
+  // After the storm, refreshed state is coherent: a fresh query matches
+  // the single-caller reference on the final version.
+  const QueryResult calm = service.query({"CC", 0});
+  EXPECT_EQ(calm.value, session.query("CC"));
+  resolved.fetch_add(1);
+  service.stop();
+
+  // Every accepted future resolved, the ledger balances, every engine
+  // lease (including the writer's refresh/pre-warm leases) came back.
+  const auto s = service.stats();
+  EXPECT_EQ(resolved.load() + errored.load(), s.completed + s.failed);
+  EXPECT_EQ(s.submitted, s.completed + s.failed + s.rejected);
+  EXPECT_EQ(s.in_flight, 0u);
+  EXPECT_EQ(s.rejected, rejected.load());
+  EXPECT_EQ(service.engine_pool().outstanding(), 0u);
+}
+
+}  // namespace
+}  // namespace vebo

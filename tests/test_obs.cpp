@@ -707,6 +707,7 @@ TEST(MetricsPlane, EveryServiceStatIsExposed) {
            "vebo_service_shed_total{reason=\"deadline\"}",
            "vebo_service_shed_total{reason=\"cancelled\"}",
            "vebo_cache_hits_total", "vebo_cache_invalidations_total",
+           "vebo_cache_refreshes_total",
            "vebo_cache_evictions_total", "vebo_cache_entries",
            "vebo_cache_stale_entries", "vebo_pool_engines_created_total",
            "vebo_pool_leases_total", "vebo_pool_rebinds_total",
@@ -759,6 +760,37 @@ TEST(MetricsPlane, EveryServiceStatIsExposed) {
   EXPECT_NE(text.find("vebo_service_errors_total{code=\"bad-request\"} 1"),
             std::string::npos);
   EXPECT_NE(text.find("vebo_cache_hits_total 1"), std::string::npos);
+}
+
+// PR 10: the refresh-on-publish counters ride the same exposition — the
+// cumulative refresh counter plus the per-algorithm hook-latency pair.
+TEST(MetricsPlane, RefreshMetricsAreExposed) {
+  MetricsRegistry reg;
+  SnapshotStore store;
+  StreamSession session(*make_graph(8, 4, 17));
+  GraphServiceOptions opts;
+  opts.workers = 1;
+  opts.metrics = &reg;
+  opts.refresh_on_publish = true;
+  opts.refresh_max_delta_fraction = 1.0;
+  GraphService service(store, opts);
+  service.publish_session(session);
+
+  Query q;
+  q.algo = "CC";
+  q.result = serve::ResultKind::Payload;
+  (void)service.query(q);
+  session.apply(std::vector<stream::EdgeUpdate>{
+      stream::EdgeUpdate::insert(1, 3)});
+  service.publish_session(session);  // refreshes the cached CC entry
+
+  const std::string text = reg.prometheus_text();
+  EXPECT_NE(text.find("vebo_cache_refreshes_total 1"), std::string::npos);
+  EXPECT_NE(
+      text.find("vebo_cache_refresh_latency_ms_count{algo=\"CC\"} 1"),
+      std::string::npos);
+  EXPECT_NE(text.find("vebo_cache_refresh_latency_ms_sum{algo=\"CC\"}"),
+            std::string::npos);
 }
 
 TEST(MetricsPlane, StreamSessionStatsAreExposed) {

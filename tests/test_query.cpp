@@ -163,10 +163,10 @@ serve::CacheKey key_of(int i) {
 
 TEST(ResultCache, LruEvictsOldestNotEverything) {
   serve::ResultCache cache(2);
-  cache.insert(key_of(1), {1.0, nullptr});
-  cache.insert(key_of(2), {2.0, nullptr});
+  cache.insert(key_of(1), {1.0, nullptr, "", {}});
+  cache.insert(key_of(2), {2.0, nullptr, "", {}});
   ASSERT_NE(cache.find(key_of(1)), nullptr);  // bumps 1 over 2
-  cache.insert(key_of(3), {3.0, nullptr});    // evicts 2, not the world
+  cache.insert(key_of(3), {3.0, nullptr, "", {}});    // evicts 2, not the world
   EXPECT_EQ(cache.size(), 2u);
   EXPECT_EQ(cache.evictions(), 1u);
   EXPECT_EQ(cache.find(key_of(2)), nullptr);
@@ -175,7 +175,7 @@ TEST(ResultCache, LruEvictsOldestNotEverything) {
   ASSERT_NE(cache.find(key_of(3)), nullptr);
 
   // Refreshing an existing key is not an eviction.
-  cache.insert(key_of(3), {3.5, nullptr});
+  cache.insert(key_of(3), {3.5, nullptr, "", {}});
   EXPECT_EQ(cache.evictions(), 1u);
   EXPECT_EQ(cache.find(key_of(3))->checksum, 3.5);
 

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <string>
 
 #include "gen/datasets.hpp"
 #include "gen/erdos.hpp"
@@ -191,7 +192,9 @@ TEST_P(VeboTheorems, RoadGraphBalancedDespiteUniformDegrees) {
 INSTANTIATE_TEST_SUITE_P(PartitionCounts, VeboTheorems,
                          ::testing::Values(2, 3, 4, 7, 16, 48, 97, 384),
                          [](const auto& info) {
-                           return "P" + std::to_string(info.param);
+                           std::string name = "P";
+                           name += std::to_string(info.param);
+                           return name;
                          });
 
 class VeboZipfExponent : public ::testing::TestWithParam<double> {};
@@ -209,7 +212,9 @@ INSTANTIATE_TEST_SUITE_P(SkewSweep, VeboZipfExponent,
                          ::testing::Values(0.6, 0.8, 1.0, 1.3, 1.6, 2.0),
                          [](const auto& info) {
                            const int v = static_cast<int>(info.param * 10);
-                           return "s" + std::to_string(v);
+                           std::string name = "s";
+                           name += std::to_string(v);
+                           return name;
                          });
 
 TEST(Vebo, AllDatasetStandInsWellBalanced) {
